@@ -1,0 +1,156 @@
+// Command evogame runs an evolutionary game dynamics simulation from the
+// command line, using either the serial reference engine or the distributed
+// (goroutine-rank) engine that reproduces the paper's MPI/OpenMP
+// decomposition.
+//
+// Examples:
+//
+//	evogame -ssets 256 -memory 1 -generations 50000 -noise 0.05
+//	evogame -parallel -ranks 9 -ssets 256 -memory 6 -generations 100
+//	evogame -ssets 128 -generations 20000 -checkpoint run.ckpt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"evogame"
+
+	"evogame/internal/checkpoint"
+	"evogame/internal/stats"
+	"evogame/internal/strategy"
+)
+
+func main() {
+	var (
+		useParallel = flag.Bool("parallel", false, "use the distributed engine (goroutine ranks)")
+		ranks       = flag.Int("ranks", 5, "total ranks for the distributed engine (Nature + SSet ranks)")
+		workers     = flag.Int("workers", 0, "worker goroutines per rank (0 = number of CPUs)")
+		optLevel    = flag.Int("opt", 3, "optimization level 0..3 (Figure 3)")
+
+		ssets       = flag.Int("ssets", 128, "number of Strategy Sets")
+		agents      = flag.Int("agents", 4, "agents per Strategy Set")
+		memory      = flag.Int("memory", 1, "memory steps (1..6)")
+		rounds      = flag.Int("rounds", evogame.DefaultRounds, "IPD rounds per game")
+		noise       = flag.Float64("noise", 0.05, "per-move error probability")
+		pcRate      = flag.Float64("pc-rate", 0.1, "pairwise comparison rate per generation")
+		muRate      = flag.Float64("mutation-rate", 0.05, "mutation rate per generation")
+		beta        = flag.Float64("beta", 1.0, "Fermi selection intensity")
+		generations = flag.Int("generations", 10000, "generations to simulate")
+		seed        = flag.Uint64("seed", 2013, "random seed")
+		sampleEvery = flag.Int("sample-every", 0, "record an abundance sample every N generations (0 = final only)")
+		ckptPath    = flag.String("checkpoint", "", "write the final population to this checkpoint file")
+		clusters    = flag.Int("clusters", 0, "cluster the final population into K groups (0 = skip)")
+	)
+	flag.Parse()
+
+	if err := run(runOptions{
+		parallel: *useParallel, ranks: *ranks, workers: *workers, optLevel: *optLevel,
+		ssets: *ssets, agents: *agents, memory: *memory, rounds: *rounds, noise: *noise,
+		pcRate: *pcRate, muRate: *muRate, beta: *beta, generations: *generations,
+		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, clusters: *clusters,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "evogame:", err)
+		os.Exit(1)
+	}
+}
+
+type runOptions struct {
+	parallel                    bool
+	ranks, workers, optLevel    int
+	ssets, agents, memory       int
+	rounds                      int
+	noise, pcRate, muRate, beta float64
+	generations                 int
+	seed                        uint64
+	sampleEvery                 int
+	ckptPath                    string
+	clusters                    int
+}
+
+func run(o runOptions) error {
+	start := time.Now()
+	var finalStrategies []string
+
+	if o.parallel {
+		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+			Ranks: o.ranks, WorkersPerRank: o.workers, OptimizationLevel: o.optLevel,
+			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
+			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
+			Beta: o.beta, Generations: o.generations, Seed: o.seed,
+		})
+		if err != nil {
+			return err
+		}
+		finalStrategies = res.FinalStrategies
+		fmt.Printf("distributed run: %d generations, %d ranks, %d SSets, memory-%d\n",
+			res.Generations, o.ranks, o.ssets, o.memory)
+		fmt.Printf("wallclock %.2fs  mean rank compute %.2fs  mean rank comm %.2fs  games %d\n",
+			res.WallClockSeconds, res.ComputeSeconds, res.CommSeconds, res.TotalGames)
+		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations\n",
+			res.PCEvents, res.Adoptions, res.Mutations)
+		t := stats.NewTable("Rank", "Local SSets", "Games", "Compute (s)", "Comm (s)", "Msgs sent")
+		for _, r := range res.Ranks {
+			t.AddRow(r.Rank, r.LocalSSets, r.GamesPlayed, r.ComputeSeconds, r.CommSeconds, r.MessagesSent)
+		}
+		fmt.Print(t.String())
+	} else {
+		res, err := evogame.Simulate(context.Background(), evogame.SimulationConfig{
+			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
+			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
+			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
+		})
+		if err != nil {
+			return err
+		}
+		finalStrategies = res.FinalStrategies
+		fmt.Printf("serial run: %d generations, %d SSets x %d agents, memory-%d (%.2fs)\n",
+			res.Generations, o.ssets, o.agents, o.memory, time.Since(start).Seconds())
+		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations, %d games\n",
+			res.PCEvents, res.Adoptions, res.Mutations, res.GamesPlayed)
+		t := stats.NewTable("Generation", "Distinct", "Top strategy", "Top %", "WSLS %", "ALLD %")
+		for _, s := range res.Samples {
+			t.AddRow(s.Generation, s.DistinctStrategies, s.TopStrategy, 100*s.TopFraction, 100*s.WSLSFraction, 100*s.AllDFraction)
+		}
+		fmt.Print(t.String())
+	}
+
+	if o.clusters > 0 {
+		groups, err := evogame.ClusterStrategies(finalStrategies, o.clusters, o.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nk-means clusters (k=%d):\n", o.clusters)
+		ct := stats.NewTable("Cluster", "Size", "Fraction", "Representative")
+		for i, c := range groups {
+			ct.AddRow(i, c.Size, c.Fraction, c.Representative)
+		}
+		fmt.Print(ct.String())
+	}
+
+	if o.ckptPath != "" {
+		strats := make([]strategy.Strategy, len(finalStrategies))
+		for i, s := range finalStrategies {
+			p, err := strategy.ParsePure(o.memory, s)
+			if err != nil {
+				return err
+			}
+			strats[i] = p
+		}
+		snap := checkpoint.Snapshot{
+			Generation:  o.generations,
+			Seed:        o.seed,
+			MemorySteps: o.memory,
+			Strategies:  strats,
+			Label:       "evogame CLI run",
+		}
+		if err := checkpoint.Save(o.ckptPath, snap); err != nil {
+			return err
+		}
+		fmt.Printf("\ncheckpoint written to %s\n", o.ckptPath)
+	}
+	return nil
+}

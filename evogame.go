@@ -1,0 +1,415 @@
+// Package evogame is the public interface of the evolutionary game dynamics
+// framework reproduced from "Massively Parallel Model of Extended Memory Use
+// in Evolutionary Game Dynamics" (Randles et al., IPDPS 2013).
+//
+// The framework simulates a population of Strategy Sets (groups of agents
+// sharing one Iterated Prisoner's Dilemma strategy with one to six rounds of
+// memory) evolving under pairwise-comparison learning with the Fermi rule
+// and random mutation.  Two engines are provided behind this facade:
+//
+//   - Simulate runs the serial reference engine, suitable for scientific
+//     studies such as the Win-Stay Lose-Shift emergence validation.
+//   - SimulateParallel runs the distributed engine: rank 0 is the Nature
+//     Agent and the remaining ranks own blocks of Strategy Sets, with game
+//     play fanned across worker goroutines inside each rank, mirroring the
+//     paper's MPI/OpenMP decomposition on an in-process message-passing
+//     runtime.
+//
+// Strategies cross the API boundary as move-table strings ("0110" is
+// memory-one Win-Stay Lose-Shift; one character per game state, '0' =
+// cooperate, '1' = defect), so callers never depend on internal types.
+// Scaling predictions for Blue Gene/P and Blue Gene/Q class machines are
+// available through PredictStrongScaling, PredictWeakScaling, RatioTable and
+// MemorySweep.
+package evogame
+
+import (
+	"context"
+	"fmt"
+
+	"evogame/internal/game"
+	"evogame/internal/kmeans"
+	"evogame/internal/parallel"
+	"evogame/internal/population"
+	"evogame/internal/strategy"
+)
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// DefaultRounds is the number of IPD rounds per game used in the paper.
+const DefaultRounds = game.DefaultRounds
+
+// MaxMemorySteps is the largest supported strategy memory depth.
+const MaxMemorySteps = game.MaxMemorySteps
+
+// SimulationConfig configures the serial reference engine.
+type SimulationConfig struct {
+	// NumSSets is the number of Strategy Sets (>= 2).
+	NumSSets int
+	// AgentsPerSSet is the number of agents per Strategy Set (>= 1).
+	AgentsPerSSet int
+	// MemorySteps is the strategy memory depth, 1..6.
+	MemorySteps int
+	// Rounds is the number of IPD rounds per game; 0 selects the paper's 200.
+	Rounds int
+	// Noise is the per-move execution-error probability.
+	Noise float64
+	// PCRate is the per-generation pairwise-comparison probability; 0 selects
+	// the paper's 0.1, a negative value disables learning.
+	PCRate float64
+	// MutationRate is the per-generation mutation probability; 0 selects the
+	// paper's 0.05, a negative value disables mutation.
+	MutationRate float64
+	// Beta is the Fermi selection intensity; 0 selects 1.0.
+	Beta float64
+	// Generations is the number of generations to simulate.
+	Generations int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// InitialStrategies optionally fixes each SSet's starting strategy as a
+	// move-table string; when empty, strategies are drawn uniformly at
+	// random.
+	InitialStrategies []string
+	// SampleEvery records an abundance sample every this many generations
+	// (0 disables periodic sampling; the final state is always sampled).
+	SampleEvery int
+}
+
+// Sample is one abundance observation of the population.
+type Sample struct {
+	Generation          int
+	DistinctStrategies  int
+	TopStrategy         string
+	TopFraction         float64
+	WSLSFraction        float64
+	TFTFraction         float64
+	AllDFraction        float64
+	MeanDefectingStates float64
+}
+
+// SimulationResult is the outcome of Simulate.
+type SimulationResult struct {
+	Generations     int
+	FinalStrategies []string
+	Samples         []Sample
+	// PCEvents, Adoptions and Mutations count the evolutionary events that
+	// occurred.
+	PCEvents  int
+	Adoptions int
+	Mutations int
+	// GamesPlayed is the number of two-player IPD games executed.
+	GamesPlayed int64
+}
+
+// WSLSFraction returns the final fraction of SSets holding the canonical
+// Win-Stay Lose-Shift strategy.
+func (r SimulationResult) WSLSFraction() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	return r.Samples[len(r.Samples)-1].WSLSFraction
+}
+
+func (c SimulationConfig) toInternal() (population.Config, error) {
+	rounds := c.Rounds
+	if rounds == 0 {
+		rounds = game.DefaultRounds
+	}
+	cfg := population.Config{
+		NumSSets:      c.NumSSets,
+		AgentsPerSSet: c.AgentsPerSSet,
+		MemorySteps:   c.MemorySteps,
+		Rounds:        rounds,
+		Noise:         c.Noise,
+		PCRate:        c.PCRate,
+		MutationRate:  c.MutationRate,
+		Beta:          c.Beta,
+		Seed:          c.Seed,
+		SampleEvery:   c.SampleEvery,
+	}
+	if len(c.InitialStrategies) > 0 {
+		strats, err := parseStrategies(c.MemorySteps, c.InitialStrategies)
+		if err != nil {
+			return population.Config{}, err
+		}
+		cfg.InitialStrategies = strats
+	}
+	return cfg, nil
+}
+
+func parseStrategies(memSteps int, moves []string) ([]strategy.Strategy, error) {
+	out := make([]strategy.Strategy, len(moves))
+	for i, s := range moves {
+		p, err := strategy.ParsePure(memSteps, s)
+		if err != nil {
+			return nil, fmt.Errorf("evogame: initial strategy %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func renderStrategies(strats []strategy.Strategy) []string {
+	out := make([]string, len(strats))
+	for i, s := range strats {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// Simulate runs the serial reference engine.
+func Simulate(ctx context.Context, cfg SimulationConfig) (SimulationResult, error) {
+	internal, err := cfg.toInternal()
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	model, err := population.New(internal)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	res, err := model.Run(ctx, cfg.Generations)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	out := SimulationResult{
+		Generations:     res.Generations,
+		FinalStrategies: renderStrategies(res.FinalStrategies),
+		PCEvents:        res.NatureStats.PCEvents,
+		Adoptions:       res.NatureStats.Adoptions,
+		Mutations:       res.NatureStats.Mutations,
+		GamesPlayed:     res.TotalGamesPlayed,
+	}
+	for _, s := range res.Samples {
+		out.Samples = append(out.Samples, Sample{
+			Generation:          s.Generation,
+			DistinctStrategies:  s.Distinct,
+			TopStrategy:         s.TopStrategy,
+			TopFraction:         s.TopFraction,
+			WSLSFraction:        s.WSLSFraction,
+			TFTFraction:         s.TFTFraction,
+			AllDFraction:        s.AllDFraction,
+			MeanDefectingStates: s.MeanDefectingStates,
+		})
+	}
+	return out, nil
+}
+
+// ParallelConfig configures the distributed engine.
+type ParallelConfig struct {
+	// Ranks is the total number of ranks including the Nature Agent (>= 2).
+	Ranks int
+	// WorkersPerRank bounds the worker goroutines used for game play inside
+	// each rank (0 selects the number of CPUs).
+	WorkersPerRank int
+	// OptimizationLevel selects the Figure 3 optimization level 0..3
+	// (0 = original, 1 = non-blocking comm, 2 = + state lookup,
+	// 3 = + fused fitness).  Use 3 for production runs.
+	OptimizationLevel int
+
+	NumSSets      int
+	AgentsPerSSet int
+	MemorySteps   int
+	Rounds        int
+	Noise         float64
+	PCRate        float64
+	MutationRate  float64
+	Beta          float64
+	Generations   int
+	Seed          uint64
+	// InitialStrategies optionally fixes the starting strategy table.
+	InitialStrategies []string
+	// SkipFitnessWhenIdle evaluates fitness only on learning generations.
+	SkipFitnessWhenIdle bool
+}
+
+// RankSummary reports one rank's work and communication.
+type RankSummary struct {
+	Rank             int
+	LocalSSets       int
+	GamesPlayed      int64
+	ComputeSeconds   float64
+	CommSeconds      float64
+	MessagesSent     int64
+	MessagesReceived int64
+	BytesSent        int64
+}
+
+// ParallelResult is the outcome of SimulateParallel.
+type ParallelResult struct {
+	Generations      int
+	FinalStrategies  []string
+	WallClockSeconds float64
+	// ComputeSeconds and CommSeconds are the mean per-rank times over the
+	// SSet ranks (the breakdown of the paper's Figure 5).
+	ComputeSeconds float64
+	CommSeconds    float64
+	TotalGames     int64
+	PCEvents       int
+	Adoptions      int
+	Mutations      int
+	Ranks          []RankSummary
+}
+
+// SimulateParallel runs the distributed engine.
+func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
+	if cfg.OptimizationLevel < 0 || cfg.OptimizationLevel > int(parallel.OptFusedFitness) {
+		return ParallelResult{}, fmt.Errorf("evogame: optimization level %d out of range [0,3]", cfg.OptimizationLevel)
+	}
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = game.DefaultRounds
+	}
+	internal := parallel.Config{
+		Ranks:               cfg.Ranks,
+		WorkersPerRank:      cfg.WorkersPerRank,
+		NumSSets:            cfg.NumSSets,
+		AgentsPerSSet:       cfg.AgentsPerSSet,
+		MemorySteps:         cfg.MemorySteps,
+		Rounds:              rounds,
+		Noise:               cfg.Noise,
+		PCRate:              cfg.PCRate,
+		MutationRate:        cfg.MutationRate,
+		Beta:                cfg.Beta,
+		Generations:         cfg.Generations,
+		Seed:                cfg.Seed,
+		OptLevel:            parallel.OptLevel(cfg.OptimizationLevel),
+		SkipFitnessWhenIdle: cfg.SkipFitnessWhenIdle,
+	}
+	if len(cfg.InitialStrategies) > 0 {
+		strats, err := parseStrategies(cfg.MemorySteps, cfg.InitialStrategies)
+		if err != nil {
+			return ParallelResult{}, err
+		}
+		internal.InitialStrategies = strats
+	}
+	res, err := parallel.Run(internal)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	out := ParallelResult{
+		Generations:      res.Generations,
+		FinalStrategies:  renderStrategies(res.FinalStrategies),
+		WallClockSeconds: res.WallClock.Seconds(),
+		ComputeSeconds:   res.ComputeTime().Seconds(),
+		CommSeconds:      res.CommTime().Seconds(),
+		TotalGames:       res.TotalGames,
+		PCEvents:         res.NatureStats.PCEvents,
+		Adoptions:        res.NatureStats.Adoptions,
+		Mutations:        res.NatureStats.Mutations,
+	}
+	for _, r := range res.Ranks {
+		out.Ranks = append(out.Ranks, RankSummary{
+			Rank:             r.Rank,
+			LocalSSets:       r.LocalSSets,
+			GamesPlayed:      r.GamesPlayed,
+			ComputeSeconds:   r.Compute.Seconds(),
+			CommSeconds:      r.Comm.Seconds(),
+			MessagesSent:     r.CommStats.SendCount,
+			MessagesReceived: r.CommStats.RecvCount,
+			BytesSent:        r.CommStats.BytesSent,
+		})
+	}
+	return out, nil
+}
+
+// NamedStrategy returns the move-table string of a built-in strategy
+// ("allc", "alld", "tft", "wsls", "grim", "tf2t", "alternator") for the
+// given memory depth.  Mixed strategies ("gtft") cannot be rendered as a
+// move table and return an error.
+func NamedStrategy(name string, memSteps int) (string, error) {
+	s, err := strategy.ByName(name, memSteps)
+	if err != nil {
+		return "", err
+	}
+	pure, ok := s.(*strategy.Pure)
+	if !ok {
+		return "", fmt.Errorf("evogame: strategy %q is not a pure strategy", name)
+	}
+	return pure.String(), nil
+}
+
+// StrategySpaceSize returns the number of game states (4^n) and the base-2
+// logarithm of the number of pure strategies for the given memory depth —
+// the quantities of the paper's Table IV.
+func StrategySpaceSize(memSteps int) (states int, log2Strategies int, err error) {
+	if memSteps < 1 || memSteps > MaxMemorySteps {
+		return 0, 0, fmt.Errorf("evogame: memory steps %d out of range [1,%d]", memSteps, MaxMemorySteps)
+	}
+	states = game.NumStates(memSteps)
+	return states, strategy.NumPureStrategiesLog2(memSteps), nil
+}
+
+// ClusterSummary describes one cluster of the final population, in the
+// spirit of the paper's Figure 2 visualisation.
+type ClusterSummary struct {
+	// Size is the number of strategies in the cluster.
+	Size int
+	// Fraction is the share of the population in the cluster.
+	Fraction float64
+	// Centroid is the per-state defection frequency of the cluster (values
+	// near 0 mean the cluster cooperates in that state).
+	Centroid []float64
+	// Representative is the most common move-table string in the cluster.
+	Representative string
+}
+
+// ClusterStrategies groups strategy move-table strings into k clusters with
+// Lloyd k-means, returning the clusters ordered from largest to smallest.
+func ClusterStrategies(strategies []string, k int, seed uint64) ([]ClusterSummary, error) {
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("evogame: no strategies to cluster")
+	}
+	dim := len(strategies[0])
+	rows := make([][]bool, len(strategies))
+	for i, s := range strategies {
+		if len(s) != dim {
+			return nil, fmt.Errorf("evogame: strategy %d has length %d, want %d", i, len(s), dim)
+		}
+		row := make([]bool, dim)
+		for j := 0; j < dim; j++ {
+			switch s[j] {
+			case '0':
+			case '1':
+				row[j] = true
+			default:
+				return nil, fmt.Errorf("evogame: strategy %d has invalid character %q", i, s[j])
+			}
+		}
+		rows[i] = row
+	}
+	res, err := kmeans.Cluster(kmeans.BinaryPoints(rows), kmeans.Config{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]ClusterSummary, k)
+	counts := make([]map[string]int, k)
+	for i := range counts {
+		counts[i] = make(map[string]int)
+	}
+	for i, cluster := range res.Assignments {
+		counts[cluster][strategies[i]]++
+	}
+	for ci := 0; ci < k; ci++ {
+		best, bestCount := "", -1
+		for s, c := range counts[ci] {
+			if c > bestCount || (c == bestCount && s < best) {
+				best, bestCount = s, c
+			}
+		}
+		summaries[ci] = ClusterSummary{
+			Size:           res.Sizes[ci],
+			Fraction:       float64(res.Sizes[ci]) / float64(len(strategies)),
+			Centroid:       res.Centroids[ci],
+			Representative: best,
+		}
+	}
+	// Order largest first (simple insertion sort keeps the facade free of
+	// sort.Slice closures over index pairs).
+	for i := 1; i < len(summaries); i++ {
+		for j := i; j > 0 && summaries[j].Size > summaries[j-1].Size; j-- {
+			summaries[j], summaries[j-1] = summaries[j-1], summaries[j]
+		}
+	}
+	return summaries, nil
+}

@@ -1,0 +1,88 @@
+// Memory sweep: the Figure 5 workload.  The same population is simulated
+// with memory-one through memory-six strategies on the distributed engine,
+// and the per-rank compute and communication times are reported, showing
+// how the cost of identifying the game state grows with memory depth while
+// communication stays flat.  The Blue Gene/P prediction for the paper's
+// full-size workload is printed alongside.
+//
+//	go run ./examples/memory_sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"evogame"
+)
+
+func main() {
+	ssets := flag.Int("ssets", 48, "number of Strategy Sets")
+	ranks := flag.Int("ranks", 5, "total ranks (Nature + SSet ranks)")
+	generations := flag.Int("generations", 10, "generations per memory depth")
+	flag.Parse()
+
+	fmt.Printf("distributed runs: %d SSets, %d ranks, %d generations, 200 rounds/game\n\n",
+		*ssets, *ranks, *generations)
+	fmt.Println("memory   compute(s)   comm(s)   wallclock(s)   games")
+	for mem := 1; mem <= evogame.MaxMemorySteps; mem++ {
+		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+			Ranks:             *ranks,
+			NumSSets:          *ssets,
+			AgentsPerSSet:     4,
+			MemorySteps:       mem,
+			Rounds:            evogame.DefaultRounds,
+			PCRate:            0.1,
+			MutationRate:      0.05,
+			Generations:       *generations,
+			Seed:              2013,
+			OptimizationLevel: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d   %10.3f   %7.4f   %12.3f   %d\n",
+			mem, res.ComputeSeconds, res.CommSeconds, res.WallClockSeconds, res.TotalGames)
+	}
+
+	// The paper attributes the growth in runtime with memory depth to
+	// identifying the current game state.  The optimized kernel above uses
+	// an O(1) rolling state code, which flattens that growth; replaying the
+	// sweep with the paper's original linear state search (optimization
+	// level 1) makes the effect visible.  Memory five and six are skipped —
+	// the 4,096-row search makes them impractically slow, which is itself
+	// the paper's point.
+	fmt.Println("\nsame sweep with the original linear state search (optimization level 1), memory 1..4:")
+	fmt.Println("memory   compute(s)   comm(s)   wallclock(s)")
+	for mem := 1; mem <= 4; mem++ {
+		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+			Ranks:             *ranks,
+			NumSSets:          *ssets,
+			AgentsPerSSet:     4,
+			MemorySteps:       mem,
+			Rounds:            evogame.DefaultRounds,
+			PCRate:            0.1,
+			MutationRate:      0.05,
+			Generations:       *generations,
+			Seed:              2013,
+			OptimizationLevel: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d   %10.3f   %7.4f   %12.3f\n",
+			mem, res.ComputeSeconds, res.CommSeconds, res.WallClockSeconds)
+	}
+
+	fmt.Println("\nBlue Gene/P model for the paper's workload (2,048 SSets, 20 generations, 2,048 processors):")
+	points, err := evogame.MemorySweep(evogame.ScalingOptions{}, 2048, 20, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("memory   compute(s)   comm(s)")
+	for _, p := range points {
+		fmt.Printf("%6d   %10.3f   %8.5f\n", p.MemorySteps, p.ComputeSeconds, p.CommSeconds)
+	}
+	fmt.Println("\npaper (Figure 5): runtime rises with memory depth and is dominated by computation;")
+	fmt.Println("the rise comes from identifying the current state, not from the larger strategy table")
+}

@@ -1,0 +1,100 @@
+// Scaling study: reproduces the shape of the paper's Figure 6 and Table VI.
+// Real strong and weak scaling are measured with goroutine ranks on the
+// local host, and the analytic performance model extrapolates the same
+// algorithm to Blue Gene/P (294,912 cores) and Blue Gene/Q (16,384 tasks).
+//
+//	go run ./examples/scaling_study
+//	go run ./examples/scaling_study -calibrate   # measure the game kernel first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"evogame"
+)
+
+func main() {
+	calibrate := flag.Bool("calibrate", false, "measure the real game-kernel cost before modelling")
+	flag.Parse()
+	opts := evogame.ScalingOptions{CalibrateKernel: *calibrate}
+
+	// Real strong scaling on this host: a fixed 64-SSet population spread
+	// over an increasing number of goroutine ranks.
+	fmt.Println("== real strong scaling (64 SSets, memory-one, 10 generations, goroutine ranks) ==")
+	fmt.Println("ranks   wallclock(s)   efficiency(%)")
+	var base float64
+	for i, ranks := range []int{1, 2, 4, 8} {
+		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+			Ranks: ranks + 1, NumSSets: 64, AgentsPerSSet: 4, MemorySteps: 1,
+			Rounds: evogame.DefaultRounds, PCRate: 0.1, MutationRate: 0.05,
+			Generations: 10, Seed: 7, OptimizationLevel: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res.WallClockSeconds
+		}
+		eff := 100 * base / (res.WallClockSeconds * float64(ranks))
+		fmt.Printf("%5d   %12.3f   %12.1f\n", ranks, res.WallClockSeconds, eff)
+	}
+
+	// Model: the paper's strong scaling run (Figure 6b).
+	fmt.Println("\n== modelled strong scaling on Blue Gene/P: 32,768 SSets, memory-six (Figure 6b) ==")
+	points, err := evogame.PredictStrongScaling(opts, 32768, 6, []int{1024, 2048, 8192, 16384, 262144})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("processors   sec/generation   speedup   efficiency(%)")
+	for _, p := range points {
+		fmt.Printf("%10d   %14.4f   %7.0f   %13.1f\n",
+			p.Processors, p.SecondsPerGeneration, p.Speedup, p.EfficiencyPercent)
+	}
+	fmt.Println("paper: 99% linear scaling through 16,384 processors, 82% at 262,144")
+
+	// Model: the paper's weak scaling run (Figure 6a).
+	fmt.Println("\n== modelled weak scaling: 4,096 SSets per processor, memory-six (Figure 6a) ==")
+	weakP, err := evogame.PredictWeakScaling(opts, 4096, 4096, 6, []int{1024, 4096, 16384, 65536, 294912})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optsQ := opts
+	optsQ.Machine = evogame.MachineBlueGeneQ
+	weakQ, err := evogame.PredictWeakScaling(optsQ, 4096, 4096, 6, []int{1024, 4096, 16384})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine   processors   sec/generation   efficiency(%)")
+	for _, p := range weakP {
+		fmt.Printf("BG/P      %10d   %14.3f   %13.2f\n", p.Processors, p.SecondsPerGeneration, p.EfficiencyPercent)
+	}
+	for _, p := range weakQ {
+		fmt.Printf("BG/Q      %10d   %14.3f   %13.2f\n", p.Processors, p.SecondsPerGeneration, p.EfficiencyPercent)
+	}
+	fmt.Println("paper: >=99% weak scaling efficiency at every measured scale")
+
+	// Model: the SSets-per-processor ratio cliff (Table VI).
+	fmt.Println("\n== modelled SSets-per-processor ratio (Table VI) ==")
+	rows, err := evogame.RatioTable(opts, []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8}, 2048, 6, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("R (SSets/proc)   efficiency(%)")
+	for _, r := range rows {
+		fmt.Printf("%14.1f   %13.1f\n", r.Ratio, r.EfficiencyPercent)
+	}
+	fmt.Println("paper: 50/55% at R<=1, >=99.7% once each processor holds at least two SSets")
+
+	// Memory capacity: reproduce the "memory-six is the limit" argument.
+	fmt.Println("\n== memory capacity (Section V-C) ==")
+	capacity, err := evogame.CheckMemoryCapacity(evogame.MachineBlueGeneP, 32768, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stratBytes, _ := evogame.StrategyBytes(6)
+	fmt.Printf("a memory-six strategy occupies %d bytes; on 1,024 Blue Gene/P processors the largest\n", stratBytes)
+	fmt.Printf("population that fits is %d SSets and the deepest memory that fits is memory-%d\n",
+		capacity.MaxTotalSSets, capacity.MaxMemorySteps)
+}

@@ -1,0 +1,257 @@
+package evogame
+
+// Cross-module integration tests: they exercise the public facade end to end
+// and check that independently implemented components (serial engine,
+// distributed engine, exact analysis, checkpointing, clustering) agree with
+// each other on shared scenarios.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"evogame/internal/checkpoint"
+	"evogame/internal/strategy"
+)
+
+// TestIntegrationSerialParallelMemoryTwo drives both engines through an
+// identical memory-two scenario seeded with classic strategies and requires
+// bit-identical histories.
+func TestIntegrationSerialParallelMemoryTwo(t *testing.T) {
+	grim := strategy.GRIM(2).String()
+	wsls := strategy.WSLS(2).String()
+	alld := strategy.AllD(2).String()
+	initial := []string{grim, wsls, alld, wsls, grim, wsls, alld, wsls, wsls}
+
+	serial, err := Simulate(context.Background(), SimulationConfig{
+		NumSSets:          9,
+		AgentsPerSSet:     3,
+		MemorySteps:       2,
+		Rounds:            80,
+		PCRate:            1,
+		MutationRate:      0.25,
+		Beta:              1,
+		Generations:       60,
+		Seed:              17,
+		InitialStrategies: initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SimulateParallel(ParallelConfig{
+		Ranks:             4,
+		NumSSets:          9,
+		AgentsPerSSet:     3,
+		MemorySteps:       2,
+		Rounds:            80,
+		PCRate:            1,
+		MutationRate:      0.25,
+		Beta:              1,
+		Generations:       60,
+		Seed:              17,
+		OptimizationLevel: 3,
+		InitialStrategies: initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.FinalStrategies {
+		if serial.FinalStrategies[i] != par.FinalStrategies[i] {
+			t.Fatalf("memory-two engines diverge at SSet %d", i)
+		}
+	}
+	if serial.Adoptions != par.Adoptions || serial.Mutations != par.Mutations {
+		t.Fatal("event counts diverge between engines")
+	}
+}
+
+// TestIntegrationCheckpointResume snapshots a finished run, restores it, and
+// resumes the simulation from the restored table; the resumed run must be
+// identical to a run that continued without the round trip.
+func TestIntegrationCheckpointResume(t *testing.T) {
+	base := SimulationConfig{
+		NumSSets:      12,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        50,
+		PCRate:        1,
+		MutationRate:  0.2,
+		Beta:          1,
+		Seed:          23,
+	}
+
+	// Phase one: run 40 generations and snapshot the final table.
+	first := base
+	first.Generations = 40
+	res1, err := Simulate(context.Background(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strats := make([]strategy.Strategy, len(res1.FinalStrategies))
+	for i, s := range res1.FinalStrategies {
+		p, err := strategy.ParsePure(1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strats[i] = p
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Write(&buf, checkpoint.Snapshot{
+		Generation:  40,
+		Seed:        base.Seed,
+		MemorySteps: 1,
+		Strategies:  strats,
+		Label:       "integration",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase two: restore and resume for 30 more generations with a fresh
+	// seed (the restored table is the initial condition).
+	snap, err := checkpoint.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := make([]string, len(snap.Strategies))
+	for i, s := range snap.Strategies {
+		restored[i] = s.String()
+	}
+	resume := base
+	resume.Generations = 30
+	resume.Seed = 99
+	resume.InitialStrategies = restored
+	res2, err := Simulate(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: the same continuation without the checkpoint round trip.
+	control := base
+	control.Generations = 30
+	control.Seed = 99
+	control.InitialStrategies = res1.FinalStrategies
+	res3, err := Simulate(context.Background(), control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res2.FinalStrategies {
+		if res2.FinalStrategies[i] != res3.FinalStrategies[i] {
+			t.Fatalf("checkpoint round trip changed the dynamics at SSet %d", i)
+		}
+	}
+}
+
+// TestIntegrationExactPayoffPredictsSelection checks that the exact-payoff
+// toolkit predicts the direction of selection the simulation engine actually
+// takes: in an ALLC/ALLD population the exact payoffs favour ALLD, and the
+// simulated population fixates on ALLD.
+func TestIntegrationExactPayoffPredictsSelection(t *testing.T) {
+	allc, _ := NamedStrategy("allc", 1)
+	alld, _ := NamedStrategy("alld", 1)
+
+	invades, err := CanInvade(allc, alld, 1, 50, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !invades {
+		t.Fatal("exact analysis should predict that ALLD invades ALLC")
+	}
+
+	initial := make([]string, 10)
+	for i := range initial {
+		if i < 5 {
+			initial[i] = allc
+		} else {
+			initial[i] = alld
+		}
+	}
+	res, err := Simulate(context.Background(), SimulationConfig{
+		NumSSets:          10,
+		AgentsPerSSet:     1,
+		MemorySteps:       1,
+		Rounds:            50,
+		PCRate:            1,
+		MutationRate:      -1,
+		Beta:              1,
+		Generations:       300,
+		Seed:              5,
+		InitialStrategies: initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Samples[len(res.Samples)-1]
+	if final.AllDFraction != 1 {
+		t.Fatalf("simulation did not fixate on ALLD (fraction %v) despite the exact prediction", final.AllDFraction)
+	}
+}
+
+// TestIntegrationClusteringRecoversPlantedClusters plants two strategy
+// groups in a population, runs no dynamics, and checks the clustering
+// facade recovers them exactly.
+func TestIntegrationClusteringRecoversPlantedClusters(t *testing.T) {
+	wsls, _ := NamedStrategy("wsls", 1)
+	alld, _ := NamedStrategy("alld", 1)
+	initial := make([]string, 20)
+	for i := range initial {
+		if i < 15 {
+			initial[i] = wsls
+		} else {
+			initial[i] = alld
+		}
+	}
+	res, err := Simulate(context.Background(), SimulationConfig{
+		NumSSets:          20,
+		AgentsPerSSet:     1,
+		MemorySteps:       1,
+		Rounds:            10,
+		PCRate:            -1,
+		MutationRate:      -1,
+		Generations:       5,
+		Seed:              1,
+		InitialStrategies: initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ClusterStrategies(res.FinalStrategies, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters[0].Representative != wsls || clusters[0].Size != 15 {
+		t.Fatalf("dominant cluster = %+v, want the planted WSLS group", clusters[0])
+	}
+	if clusters[1].Representative != alld || clusters[1].Size != 5 {
+		t.Fatalf("minor cluster = %+v, want the planted ALLD group", clusters[1])
+	}
+}
+
+// TestIntegrationTournamentAgreesWithExactPayoffs runs a noiseless
+// tournament and checks every standing equals the sum of exact pairwise
+// payoffs.
+func TestIntegrationTournamentAgreesWithExactPayoffs(t *testing.T) {
+	entrants, err := ClassicTournamentEntrants(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standings, err := RunTournament(entrants, TournamentConfig{Rounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range standings {
+		expected := 0.0
+		for name, table := range entrants {
+			if name == s.Name {
+				continue
+			}
+			pa, _, err := ExactPayoffs(entrants[s.Name], table, 1, 120, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected += pa
+		}
+		if s.TotalScore != expected {
+			t.Fatalf("%s: tournament score %v != exact sum %v", s.Name, s.TotalScore, expected)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package baseline implements the "traditional" algorithm the paper uses as
+// its point of comparison (Section IV-A): every strategy in the population
+// is assigned to a single agent, that agent plays all other agents' strategies
+// serially, and the selection and mutation steps run at the end of each
+// generation.  Parallelising this layout caps the useful processor count at
+// the number of agents and forgoes the game-level parallelism that the SSet
+// abstraction exposes; the ablation benchmark compares the two.
+package baseline
+
+import (
+	"fmt"
+
+	"evogame/internal/game"
+	"evogame/internal/nature"
+	"evogame/internal/rng"
+	"evogame/internal/strategy"
+)
+
+// Config describes a baseline simulation.  The dynamics parameters mirror
+// population.Config so results are comparable.
+type Config struct {
+	NumAgents    int
+	MemorySteps  int
+	Rounds       int
+	Noise        float64
+	PCRate       float64
+	MutationRate float64
+	Beta         float64
+	Seed         uint64
+	// InitialStrategies optionally fixes each agent's starting strategy.
+	InitialStrategies []strategy.Strategy
+}
+
+// Model is the traditional one-agent-per-strategy simulation.
+type Model struct {
+	cfg    Config
+	engine *game.Engine
+	nat    *nature.Agent
+	agents []strategy.Strategy
+	src    *rng.Source
+	gen    int
+	games  int64
+}
+
+// New validates the configuration and builds a baseline model.
+func New(cfg Config) (*Model, error) {
+	if cfg.NumAgents < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 agents, got %d", cfg.NumAgents)
+	}
+	if cfg.InitialStrategies != nil && len(cfg.InitialStrategies) != cfg.NumAgents {
+		return nil, fmt.Errorf("baseline: %d initial strategies for %d agents", len(cfg.InitialStrategies), cfg.NumAgents)
+	}
+	engine, err := game.NewEngine(game.EngineConfig{
+		Rounds:      cfg.Rounds,
+		MemorySteps: cfg.MemorySteps,
+		Noise:       cfg.Noise,
+		StateMode:   game.StateRolling,
+		AccumMode:   game.AccumLookup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	natSrc := root.Split()
+	initSrc := root.Split()
+	gameSrc := root.Split()
+	nat, err := nature.New(nature.Config{
+		PCRate:       cfg.PCRate,
+		MutationRate: cfg.MutationRate,
+		Beta:         cfg.Beta,
+		MemorySteps:  cfg.MemorySteps,
+	}, natSrc)
+	if err != nil {
+		return nil, err
+	}
+	agents := cfg.InitialStrategies
+	if agents == nil {
+		agents = make([]strategy.Strategy, cfg.NumAgents)
+		for i := range agents {
+			agents[i] = strategy.RandomPure(cfg.MemorySteps, initSrc)
+		}
+	} else {
+		agents = append([]strategy.Strategy(nil), agents...)
+	}
+	return &Model{cfg: cfg, engine: engine, nat: nat, agents: agents, src: gameSrc}, nil
+}
+
+// Generation returns the number of generations simulated so far.
+func (m *Model) Generation() int { return m.gen }
+
+// GamesPlayed returns the number of IPD games executed so far.
+func (m *Model) GamesPlayed() int64 { return m.games }
+
+// Strategies returns a copy of the agents' current strategies.
+func (m *Model) Strategies() []strategy.Strategy {
+	return append([]strategy.Strategy(nil), m.agents...)
+}
+
+// fitness plays agent i serially against every other agent, exactly as the
+// traditional algorithm prescribes — no redundancy elimination, no
+// thread-level fan-out.
+func (m *Model) fitness(i int) (float64, error) {
+	total := 0.0
+	for j, opp := range m.agents {
+		if j == i {
+			continue
+		}
+		var src *rng.Source
+		if m.engine.Noise() > 0 || !m.agents[i].Deterministic() || !opp.Deterministic() {
+			src = m.src.Split()
+		}
+		fit, err := m.engine.PlayFitness(m.agents[i], opp, src)
+		if err != nil {
+			return 0, err
+		}
+		total += fit
+		m.games++
+	}
+	return total, nil
+}
+
+// Step advances the simulation by one generation.
+func (m *Model) Step() error {
+	if teacher, learner, ok := m.nat.MaybeSelectPC(len(m.agents)); ok {
+		fitT, err := m.fitness(teacher)
+		if err != nil {
+			return err
+		}
+		fitL, err := m.fitness(learner)
+		if err != nil {
+			return err
+		}
+		adopted, _ := m.nat.DecideAdoption(fitT, fitL)
+		m.nat.RecordPC(adopted)
+		if adopted {
+			m.agents[learner] = m.agents[teacher].Clone()
+		}
+	}
+	if target, newStrat, ok := m.nat.MaybeMutation(len(m.agents)); ok {
+		m.agents[target] = newStrat
+	}
+	m.nat.EndGeneration()
+	m.gen++
+	return nil
+}
+
+// Run advances the simulation by the given number of generations.
+func (m *Model) Run(generations int) error {
+	if generations < 0 {
+		return fmt.Errorf("baseline: negative generation count %d", generations)
+	}
+	for g := 0; g < generations; g++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the Nature Agent's event counters.
+func (m *Model) Stats() nature.Stats { return m.nat.Stats() }
+
+// FractionOf returns the fraction of agents currently holding a strategy
+// equal to s.
+func (m *Model) FractionOf(s strategy.Strategy) float64 {
+	count := 0
+	for _, a := range m.agents {
+		if a.Equal(s) {
+			count++
+		}
+	}
+	return float64(count) / float64(len(m.agents))
+}

@@ -1,0 +1,278 @@
+// Package bitvec implements fixed-length packed bit vectors.
+//
+// Pure memory-n strategies in the Iterated Prisoner's Dilemma are functions
+// from game states to a binary move (cooperate or defect).  For memory-six
+// there are 4^6 = 4096 states, so a pure strategy is exactly a 4096-bit
+// vector.  This package provides the packed representation that keeps the
+// per-SSet memory footprint small enough for the paper's claim that
+// memory-six is the largest strategy that fits in node memory, and supplies
+// the operations the rest of the framework needs: random fill, Hamming
+// distance (used by the k-means clustering of Figure 2), equality, and a
+// compact hexadecimal encoding for checkpoints and the Nature Agent's global
+// strategy table.
+package bitvec
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"evogame/internal/rng"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector.  The zero value is an empty vector of
+// length 0; use New to create one of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed Vector of n bits.  It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+func wordsFor(n int) int {
+	return (n + wordBits - 1) / wordBits
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set.  It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i to b.  It panics if i is out of range.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Flip inverts bit i.  It panics if i is out of range.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Hamming returns the Hamming distance between v and u.  It returns an error
+// if the lengths differ.
+func (v *Vector) Hamming(u *Vector) (int, error) {
+	if v.n != u.n {
+		return 0, fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, u.n)
+	}
+	d := 0
+	for i := range v.words {
+		d += bits.OnesCount64(v.words[i] ^ u.words[i])
+	}
+	return d, nil
+}
+
+// Equal reports whether v and u have the same length and identical bits.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v's bits with u's.  It returns an error if the lengths
+// differ.
+func (v *Vector) CopyFrom(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, u.n)
+	}
+	copy(v.words, u.words)
+	return nil
+}
+
+// Zero clears every bit.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// FillRandom sets every bit uniformly at random using src.
+func (v *Vector) FillRandom(src *rng.Source) {
+	src.FillUint64(v.words)
+	v.maskTail()
+}
+
+// maskTail clears any bits in the final word beyond the vector length so
+// that Equal, OnesCount and the hex encoding are canonical.
+func (v *Vector) maskTail() {
+	rem := v.n % wordBits
+	if rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Word returns the i-th 64-bit word of the packed representation.  Bits
+// beyond Len are always zero.
+func (v *Vector) Word(i int) uint64 {
+	return v.words[i]
+}
+
+// WordCount returns the number of 64-bit words backing the vector.
+func (v *Vector) WordCount() int { return len(v.words) }
+
+// Bytes returns the packed little-endian byte representation.
+func (v *Vector) Bytes() []byte {
+	out := make([]byte, len(v.words)*8)
+	for i, w := range v.words {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(w >> (8 * uint(b)))
+		}
+	}
+	return out
+}
+
+// HexString returns a canonical lowercase hexadecimal encoding of the packed
+// bytes (little-endian word order).
+func (v *Vector) HexString() string {
+	return hex.EncodeToString(v.Bytes())
+}
+
+// FromHexString decodes a vector of n bits from a string previously produced
+// by HexString.
+func FromHexString(n int, s string) (*Vector, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("bitvec: decoding hex: %w", err)
+	}
+	v := New(n)
+	if len(raw) != len(v.words)*8 {
+		return nil, fmt.Errorf("bitvec: hex encodes %d bytes, want %d for %d bits", len(raw), len(v.words)*8, n)
+	}
+	for i := range v.words {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(raw[i*8+b]) << (8 * uint(b))
+		}
+		v.words[i] = w
+	}
+	// Reject encodings that set bits beyond the declared length; they would
+	// break canonical equality.
+	tail := v.words[len(v.words)-1]
+	v.maskTail()
+	if len(v.words) > 0 && tail != v.words[len(v.words)-1] {
+		return nil, errors.New("bitvec: hex string sets bits beyond vector length")
+	}
+	return v, nil
+}
+
+// String renders the vector as a string of '0' and '1' characters, index 0
+// first.  Intended for debugging and the small strategy tables of the paper.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a Vector from a string of '0' and '1' characters (index 0
+// first), the inverse of String.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// And sets v to the bitwise AND of v and u.  It returns an error on length
+// mismatch.
+func (v *Vector) And(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, u.n)
+	}
+	for i := range v.words {
+		v.words[i] &= u.words[i]
+	}
+	return nil
+}
+
+// Or sets v to the bitwise OR of v and u.  It returns an error on length
+// mismatch.
+func (v *Vector) Or(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, u.n)
+	}
+	for i := range v.words {
+		v.words[i] |= u.words[i]
+	}
+	return nil
+}
+
+// Xor sets v to the bitwise XOR of v and u.  It returns an error on length
+// mismatch.
+func (v *Vector) Xor(u *Vector) error {
+	if v.n != u.n {
+		return fmt.Errorf("bitvec: length mismatch %d vs %d", v.n, u.n)
+	}
+	for i := range v.words {
+		v.words[i] ^= u.words[i]
+	}
+	return nil
+}
+
+// Not inverts every bit in place.
+func (v *Vector) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.maskTail()
+}

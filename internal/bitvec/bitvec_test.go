@@ -1,0 +1,383 @@
+package bitvec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"evogame/internal/rng"
+)
+
+func TestNewZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 4096} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("New(%d).Len() = %d", n, v.Len())
+		}
+		if v.OnesCount() != 0 {
+			t.Fatalf("New(%d) has %d set bits", n, v.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestGetSetFlip(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	for i := 0; i < 130; i++ {
+		want := i == 0 || i == 64 || i == 129
+		if v.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+	v.Flip(64)
+	if v.Get(64) {
+		t.Fatal("Flip did not clear bit 64")
+	}
+	v.Flip(64)
+	if !v.Get(64) {
+		t.Fatal("Flip did not set bit 64")
+	}
+	v.Set(0, false)
+	if v.Get(0) {
+		t.Fatal("Set(0,false) did not clear bit 0")
+	}
+	if v.OnesCount() != 2 {
+		t.Fatalf("OnesCount = %d, want 2", v.OnesCount())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(*Vector){
+		func(v *Vector) { v.Get(-1) },
+		func(v *Vector) { v.Get(10) },
+		func(v *Vector) { v.Set(10, true) },
+		func(v *Vector) { v.Flip(-2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3, true)
+	a.Set(70, true)
+	b.Set(70, true)
+	b.Set(99, true)
+	d, err := a.Hamming(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+	if _, err := a.Hamming(New(50)); err == nil {
+		t.Fatal("Hamming accepted mismatched lengths")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	src := rng.New(1)
+	a := New(257)
+	a.FillRandom(src)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone is not equal to original")
+	}
+	b.Flip(200)
+	if a.Equal(b) {
+		t.Fatal("Equal true after flipping a bit in the clone")
+	}
+	if a.Equal(New(256)) {
+		t.Fatal("Equal true for different lengths")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := rng.New(2)
+	a := New(100)
+	a.FillRandom(src)
+	b := New(100)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy bits")
+	}
+	if err := b.CopyFrom(New(99)); err == nil {
+		t.Fatal("CopyFrom accepted mismatched lengths")
+	}
+}
+
+func TestZero(t *testing.T) {
+	src := rng.New(3)
+	v := New(500)
+	v.FillRandom(src)
+	v.Zero()
+	if v.OnesCount() != 0 {
+		t.Fatalf("Zero left %d set bits", v.OnesCount())
+	}
+}
+
+func TestFillRandomMasksTail(t *testing.T) {
+	src := rng.New(4)
+	v := New(70) // 6 bits in the tail word
+	v.FillRandom(src)
+	if v.OnesCount() > 70 {
+		t.Fatalf("OnesCount %d exceeds length 70", v.OnesCount())
+	}
+	// the tail word must not have bits above position 5
+	if v.Word(1)>>6 != 0 {
+		t.Fatalf("tail word has bits beyond the vector length: %x", v.Word(1))
+	}
+}
+
+func TestFillRandomRoughlyBalanced(t *testing.T) {
+	src := rng.New(5)
+	v := New(4096)
+	v.FillRandom(src)
+	ones := v.OnesCount()
+	if ones < 1800 || ones > 2300 {
+		t.Fatalf("random 4096-bit vector has %d ones, expected ~2048", ones)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	src := rng.New(6)
+	for _, n := range []int{1, 4, 16, 64, 100, 4096} {
+		v := New(n)
+		v.FillRandom(src)
+		s := v.HexString()
+		got, err := FromHexString(n, s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !v.Equal(got) {
+			t.Fatalf("n=%d: hex round trip changed the vector", n)
+		}
+	}
+}
+
+func TestFromHexStringErrors(t *testing.T) {
+	if _, err := FromHexString(64, "zz"); err == nil {
+		t.Fatal("accepted invalid hex")
+	}
+	if _, err := FromHexString(64, "ff"); err == nil {
+		t.Fatal("accepted wrong-length hex")
+	}
+	// 4 bits but encoding sets bit 7 -> out-of-range bit.
+	if _, err := FromHexString(4, "800000000000000000"[:16]); err == nil {
+		t.Fatal("accepted hex with bits beyond length")
+	}
+}
+
+func TestStringParse(t *testing.T) {
+	v, err := Parse("0101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4 || v.Get(0) || !v.Get(1) || v.Get(2) || !v.Get(3) {
+		t.Fatalf("Parse(0101) produced %s", v.String())
+	}
+	if v.String() != "0101" {
+		t.Fatalf("String() = %q", v.String())
+	}
+	if _, err := Parse("01x1"); err == nil {
+		t.Fatal("Parse accepted an invalid character")
+	}
+	if got := New(0).String(); got != "" {
+		t.Fatalf("empty vector String() = %q", got)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, _ := Parse("1100")
+	b, _ := Parse("1010")
+	and := a.Clone()
+	if err := and.And(b); err != nil {
+		t.Fatal(err)
+	}
+	if and.String() != "1000" {
+		t.Fatalf("And = %s", and.String())
+	}
+	or := a.Clone()
+	if err := or.Or(b); err != nil {
+		t.Fatal(err)
+	}
+	if or.String() != "1110" {
+		t.Fatalf("Or = %s", or.String())
+	}
+	xor := a.Clone()
+	if err := xor.Xor(b); err != nil {
+		t.Fatal(err)
+	}
+	if xor.String() != "0110" {
+		t.Fatalf("Xor = %s", xor.String())
+	}
+	if err := a.And(New(5)); err == nil {
+		t.Fatal("And accepted mismatched lengths")
+	}
+	if err := a.Or(New(5)); err == nil {
+		t.Fatal("Or accepted mismatched lengths")
+	}
+	if err := a.Xor(New(5)); err == nil {
+		t.Fatal("Xor accepted mismatched lengths")
+	}
+}
+
+func TestNot(t *testing.T) {
+	v, _ := Parse("0101")
+	v.Not()
+	if v.String() != "1010" {
+		t.Fatalf("Not = %s", v.String())
+	}
+	// Not must not set bits beyond the length.
+	w := New(70)
+	w.Not()
+	if w.OnesCount() != 70 {
+		t.Fatalf("Not on zero vector of 70 bits has %d ones", w.OnesCount())
+	}
+}
+
+func TestBytesLittleEndian(t *testing.T) {
+	v := New(16)
+	v.Set(0, true)
+	v.Set(9, true)
+	b := v.Bytes()
+	if len(b) != 8 {
+		t.Fatalf("Bytes length %d, want 8", len(b))
+	}
+	if b[0] != 0x01 || b[1] != 0x02 {
+		t.Fatalf("Bytes = % x, want 01 02 ...", b[:2])
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	if New(4096).WordCount() != 64 {
+		t.Fatalf("4096-bit vector has %d words, want 64", New(4096).WordCount())
+	}
+	if New(1).WordCount() != 1 {
+		t.Fatal("1-bit vector should have 1 word")
+	}
+	if New(0).WordCount() != 0 {
+		t.Fatal("0-bit vector should have 0 words")
+	}
+}
+
+// Property: String/Parse round trip is the identity.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed uint64, lenSel uint16) bool {
+		n := int(lenSel%512) + 1
+		v := New(n)
+		v.FillRandom(rng.New(seed))
+		got, err := Parse(v.String())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance equals the popcount of the XOR.
+func TestQuickHammingXor(t *testing.T) {
+	f := func(seedA, seedB uint64, lenSel uint16) bool {
+		n := int(lenSel%512) + 1
+		a, b := New(n), New(n)
+		a.FillRandom(rng.New(seedA))
+		b.FillRandom(rng.New(seedB))
+		d, err := a.Hamming(b)
+		if err != nil {
+			return false
+		}
+		x := a.Clone()
+		if err := x.Xor(b); err != nil {
+			return false
+		}
+		return d == x.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hex round trip preserves equality for arbitrary random vectors.
+func TestQuickHexRoundTrip(t *testing.T) {
+	f := func(seed uint64, lenSel uint16) bool {
+		n := int(lenSel%1024) + 1
+		v := New(n)
+		v.FillRandom(rng.New(seed))
+		got, err := FromHexString(n, v.HexString())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance is a metric on vectors of equal length
+// (symmetry and identity of indiscernibles; triangle inequality on a sample).
+func TestQuickHammingMetric(t *testing.T) {
+	f := func(seedA, seedB, seedC uint64) bool {
+		const n = 256
+		a, b, c := New(n), New(n), New(n)
+		a.FillRandom(rng.New(seedA))
+		b.FillRandom(rng.New(seedB))
+		c.FillRandom(rng.New(seedC))
+		dab, _ := a.Hamming(b)
+		dba, _ := b.Hamming(a)
+		daa, _ := a.Hamming(a)
+		dac, _ := a.Hamming(c)
+		dcb, _ := c.Hamming(b)
+		return dab == dba && daa == 0 && dab <= dac+dcb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexStringIsLowercase(t *testing.T) {
+	v := New(64)
+	v.Not()
+	if s := v.HexString(); s != strings.ToLower(s) {
+		t.Fatalf("HexString not lowercase: %q", s)
+	}
+}
+
+func BenchmarkFillRandom4096(b *testing.B) {
+	src := rng.New(1)
+	v := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.FillRandom(src)
+	}
+}
+
+func BenchmarkHamming4096(b *testing.B) {
+	src := rng.New(1)
+	x, y := New(4096), New(4096)
+	x.FillRandom(src)
+	y.FillRandom(src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = x.Hamming(y)
+	}
+}

@@ -1,0 +1,131 @@
+// Package checkpoint persists and restores the state of a long evolutionary
+// run: the generation counter, the configuration fingerprint, and the full
+// strategy table.  The paper's production runs span 10^7 generations; a
+// checkpoint lets such runs be resumed after an interruption and lets the
+// validation tooling post-process a finished population (for example the
+// k-means clustering of Figure 2) without re-running the simulation.
+//
+// The format is a small gob-encoded envelope around the strategy codec of
+// internal/strategy, so it remains readable as the internal strategy types
+// evolve.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"evogame/internal/strategy"
+)
+
+// Snapshot is the state captured by a checkpoint.
+type Snapshot struct {
+	// Generation is the number of generations completed when the snapshot
+	// was taken.
+	Generation int
+	// Seed is the run's seed, recorded so a restored run can be identified.
+	Seed uint64
+	// MemorySteps is the memory depth of the strategies.
+	MemorySteps int
+	// Strategies is the strategy table, one entry per SSet.
+	Strategies []strategy.Strategy
+	// Label is free-form metadata (experiment name, parameters).
+	Label string
+}
+
+// envelope is the gob-encoded on-disk representation.
+type envelope struct {
+	Version     int
+	Generation  int
+	Seed        uint64
+	MemorySteps int
+	Label       string
+	Strategies  [][]byte
+}
+
+const formatVersion = 1
+
+// Write serialises the snapshot to w.
+func Write(w io.Writer, s Snapshot) error {
+	if len(s.Strategies) == 0 {
+		return fmt.Errorf("checkpoint: empty strategy table")
+	}
+	env := envelope{
+		Version:     formatVersion,
+		Generation:  s.Generation,
+		Seed:        s.Seed,
+		MemorySteps: s.MemorySteps,
+		Label:       s.Label,
+		Strategies:  make([][]byte, len(s.Strategies)),
+	}
+	for i, strat := range s.Strategies {
+		if strat == nil {
+			return fmt.Errorf("checkpoint: nil strategy at index %d", i)
+		}
+		enc, err := strategy.Encode(strat)
+		if err != nil {
+			return fmt.Errorf("checkpoint: encoding strategy %d: %w", i, err)
+		}
+		env.Strategies[i] = enc
+	}
+	return gob.NewEncoder(w).Encode(env)
+}
+
+// Read deserialises a snapshot from r.
+func Read(r io.Reader) (Snapshot, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: decoding: %w", err)
+	}
+	if env.Version != formatVersion {
+		return Snapshot{}, fmt.Errorf("checkpoint: unsupported format version %d", env.Version)
+	}
+	if len(env.Strategies) == 0 {
+		return Snapshot{}, fmt.Errorf("checkpoint: empty strategy table")
+	}
+	s := Snapshot{
+		Generation:  env.Generation,
+		Seed:        env.Seed,
+		MemorySteps: env.MemorySteps,
+		Label:       env.Label,
+		Strategies:  make([]strategy.Strategy, len(env.Strategies)),
+	}
+	for i, enc := range env.Strategies {
+		strat, err := strategy.Decode(enc)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("checkpoint: decoding strategy %d: %w", i, err)
+		}
+		s.Strategies[i] = strat
+	}
+	return s, nil
+}
+
+// Save writes the snapshot atomically to the given path (write to a
+// temporary file in the same directory, then rename).
+func Save(path string, s Snapshot) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from the given path.
+func Load(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

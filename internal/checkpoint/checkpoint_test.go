@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"evogame/internal/rng"
+	"evogame/internal/strategy"
+)
+
+func sampleSnapshot() Snapshot {
+	src := rng.New(1)
+	strategies := []strategy.Strategy{
+		strategy.WSLS(2), strategy.AllD(2), strategy.RandomPure(2, src), strategy.TFT(2),
+	}
+	return Snapshot{
+		Generation:  12345,
+		Seed:        42,
+		MemorySteps: 2,
+		Strategies:  strategies,
+		Label:       "unit-test",
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != snap.Generation || got.Seed != snap.Seed ||
+		got.MemorySteps != snap.MemorySteps || got.Label != snap.Label {
+		t.Fatalf("metadata did not round trip: %+v", got)
+	}
+	if len(got.Strategies) != len(snap.Strategies) {
+		t.Fatalf("strategy count = %d", len(got.Strategies))
+	}
+	for i := range snap.Strategies {
+		if !snap.Strategies[i].Equal(got.Strategies[i]) {
+			t.Fatalf("strategy %d did not round trip", i)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Snapshot{}); err == nil {
+		t.Fatal("accepted an empty strategy table")
+	}
+	if err := Write(&buf, Snapshot{Strategies: []strategy.Strategy{nil}}); err == nil {
+		t.Fatal("accepted a nil strategy")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("accepted garbage input")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	snap := sampleSnapshot()
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	// The temporary file must not linger.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != snap.Generation || len(got.Strategies) != len(snap.Strategies) {
+		t.Fatalf("loaded snapshot differs: %+v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}
+
+func TestSaveOverwritesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	first := sampleSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleSnapshot()
+	second.Generation = 99999
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 99999 {
+		t.Fatalf("overwrite failed, generation = %d", got.Generation)
+	}
+}
+
+func TestMixedStrategiesRoundTrip(t *testing.T) {
+	gtft, err := strategy.GTFT(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Generation:  1,
+		MemorySteps: 1,
+		Strategies:  []strategy.Strategy{gtft, strategy.WSLS(1)},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Strategies[0].Equal(gtft) {
+		t.Fatal("mixed strategy did not round trip")
+	}
+}

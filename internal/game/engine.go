@@ -1,0 +1,222 @@
+package game
+
+import (
+	"fmt"
+
+	"evogame/internal/rng"
+)
+
+// Player is one side of an Iterated Prisoner's Dilemma game.  The strategy
+// package provides the pure (bit-vector) and mixed (probabilistic)
+// implementations; the game package only needs to ask the player for its
+// move in a given state.
+type Player interface {
+	// MemorySteps returns the memory depth n of the strategy.
+	MemorySteps() int
+	// Move returns the player's move in the given packed state.  src may be
+	// nil when Deterministic() is true.
+	Move(state int, src *rng.Source) Move
+	// Deterministic reports whether the strategy needs randomness to choose
+	// its move (mixed strategies do, pure strategies do not).
+	Deterministic() bool
+}
+
+// AccumMode selects how the engine accumulates fitness each round.  It is
+// the axis of the paper's "Instruction"-level optimization in Figure 3 (the
+// hand-coded fused multiply-add fitness kernel).
+type AccumMode int
+
+const (
+	// AccumBranching resolves each round's payoff through the four-way
+	// comparison of Matrix.Payoff.
+	AccumBranching AccumMode = iota
+	// AccumLookup resolves each round's payoff through the fused 4-entry
+	// look-up table (Matrix.Table) indexed by the round outcome code.
+	AccumLookup
+)
+
+// String implements fmt.Stringer.
+func (m AccumMode) String() string {
+	switch m {
+	case AccumBranching:
+		return "branching"
+	case AccumLookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("AccumMode(%d)", int(m))
+	}
+}
+
+// Engine plays Iterated Prisoner's Dilemma games.  An Engine is immutable
+// after construction and safe for concurrent use by multiple goroutines as
+// long as each call supplies its own rng.Source.
+type Engine struct {
+	payoff    Matrix
+	table     [4]float64
+	rounds    int
+	noise     float64
+	memSteps  int
+	stateMode StateMode
+	accumMode AccumMode
+	states    *StateTable
+}
+
+// EngineConfig collects the knobs of the IPD kernel.  The zero value is not
+// valid; use the documented defaults below.
+type EngineConfig struct {
+	// Payoff is the Prisoner's Dilemma payoff matrix; it must satisfy the PD
+	// conditions.  Defaults to Standard() when zero.
+	Payoff Matrix
+	// Rounds is the number of rounds per game (the paper uses 200).
+	Rounds int
+	// Noise is the probability, per move, that a player's intended move is
+	// flipped (the execution errors of Section III-F).  0 disables noise.
+	Noise float64
+	// MemorySteps is the memory depth n shared by both players.
+	MemorySteps int
+	// StateMode selects linear-search or rolling state identification.
+	StateMode StateMode
+	// AccumMode selects branching or look-up fitness accumulation.
+	AccumMode AccumMode
+}
+
+// DefaultRounds is the number of IPD rounds per generation used throughout
+// the paper's experiments.
+const DefaultRounds = 200
+
+// NewEngine validates the configuration and returns an Engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Payoff == (Matrix{}) {
+		cfg.Payoff = Standard()
+	}
+	if err := cfg.Payoff.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("game: rounds must be positive, got %d", cfg.Rounds)
+	}
+	if cfg.Noise < 0 || cfg.Noise > 1 {
+		return nil, fmt.Errorf("game: noise must be in [0,1], got %v", cfg.Noise)
+	}
+	if cfg.MemorySteps < 1 || cfg.MemorySteps > MaxMemorySteps {
+		return nil, fmt.Errorf("game: memory steps must be in [1,%d], got %d", MaxMemorySteps, cfg.MemorySteps)
+	}
+	e := &Engine{
+		payoff:    cfg.Payoff,
+		table:     cfg.Payoff.Table(),
+		rounds:    cfg.Rounds,
+		noise:     cfg.Noise,
+		memSteps:  cfg.MemorySteps,
+		stateMode: cfg.StateMode,
+		accumMode: cfg.AccumMode,
+	}
+	if cfg.StateMode == StateLinearSearch {
+		e.states = NewStateTable(cfg.MemorySteps)
+	}
+	return e, nil
+}
+
+// MemorySteps returns the memory depth of games this engine plays.
+func (e *Engine) MemorySteps() int { return e.memSteps }
+
+// Rounds returns the number of rounds per game.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// Noise returns the per-move error probability.
+func (e *Engine) Noise() float64 { return e.noise }
+
+// Payoff returns the engine's payoff matrix.
+func (e *Engine) Payoff() Matrix { return e.payoff }
+
+// Result holds the outcome of one Iterated Prisoner's Dilemma game.
+type Result struct {
+	// FitnessA and FitnessB are the total payoffs accumulated by each player
+	// over all rounds.
+	FitnessA float64
+	FitnessB float64
+	// CooperationsA and CooperationsB count how many rounds each player
+	// cooperated; used by validation studies and tests.
+	CooperationsA int
+	CooperationsB int
+	// Rounds is the number of rounds actually played.
+	Rounds int
+}
+
+func (r Result) averageFitness() (float64, float64) {
+	if r.Rounds == 0 {
+		return 0, 0
+	}
+	return r.FitnessA / float64(r.Rounds), r.FitnessB / float64(r.Rounds)
+}
+
+// AverageFitnessA returns player A's mean per-round payoff.
+func (r Result) AverageFitnessA() float64 { a, _ := r.averageFitness(); return a }
+
+// AverageFitnessB returns player B's mean per-round payoff.
+func (r Result) AverageFitnessB() float64 { _, b := r.averageFitness(); return b }
+
+// Play runs one game between a and b and returns both players' accumulated
+// fitness.  src is required when noise > 0 or either strategy is mixed; it
+// may be nil for a fully deterministic game.  Play returns an error if the
+// players' memory depths do not match the engine's.
+func (e *Engine) Play(a, b Player, src *rng.Source) (Result, error) {
+	if a.MemorySteps() != e.memSteps || b.MemorySteps() != e.memSteps {
+		return Result{}, fmt.Errorf("game: player memory (%d, %d) does not match engine memory %d",
+			a.MemorySteps(), b.MemorySteps(), e.memSteps)
+	}
+	needRand := e.noise > 0 || !a.Deterministic() || !b.Deterministic()
+	if needRand && src == nil {
+		return Result{}, fmt.Errorf("game: rng source required (noise=%v, deterministic=%v/%v)",
+			e.noise, a.Deterministic(), b.Deterministic())
+	}
+
+	histA := NewHistory(e.memSteps)
+	histB := NewHistory(e.memSteps)
+	res := Result{Rounds: e.rounds}
+
+	for r := 0; r < e.rounds; r++ {
+		stateA := histA.StateVia(e.stateMode, e.states)
+		stateB := histB.StateVia(e.stateMode, e.states)
+
+		moveA := a.Move(stateA, src)
+		moveB := b.Move(stateB, src)
+		if e.noise > 0 {
+			if src.Bool(e.noise) {
+				moveA = moveA.Flip()
+			}
+			if src.Bool(e.noise) {
+				moveB = moveB.Flip()
+			}
+		}
+
+		if moveA == Cooperate {
+			res.CooperationsA++
+		}
+		if moveB == Cooperate {
+			res.CooperationsB++
+		}
+
+		if e.accumMode == AccumLookup {
+			res.FitnessA += e.table[RoundCode(moveA, moveB)]
+			res.FitnessB += e.table[RoundCode(moveB, moveA)]
+		} else {
+			res.FitnessA += e.payoff.Payoff(moveA, moveB)
+			res.FitnessB += e.payoff.Payoff(moveB, moveA)
+		}
+
+		histA.Push(moveA, moveB)
+		histB.Push(moveB, moveA)
+	}
+	return res, nil
+}
+
+// PlayFitness is a convenience wrapper around Play that returns only the
+// focal player's fitness, matching the IPD() pseudo code of the paper which
+// returns the fitness accumulated by the agent calling it.
+func (e *Engine) PlayFitness(my, opp Player, src *rng.Source) (float64, error) {
+	res, err := e.Play(my, opp, src)
+	if err != nil {
+		return 0, err
+	}
+	return res.FitnessA, nil
+}

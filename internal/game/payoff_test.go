@@ -1,0 +1,109 @@
+package game
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardMatrixValues(t *testing.T) {
+	m := Standard()
+	if m.Reward != 3 || m.Sucker != 0 || m.Temptation != 4 || m.Punishment != 1 {
+		t.Fatalf("Standard() = %+v, want [R,S,T,P]=[3,0,4,1]", m)
+	}
+}
+
+func TestStandardMatrixIsValidPD(t *testing.T) {
+	if err := Standard().Validate(); err != nil {
+		t.Fatalf("Standard matrix failed validation: %v", err)
+	}
+}
+
+func TestValidateRejectsNonPD(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Matrix
+	}{
+		{"ordering violated (R>T)", Matrix{Reward: 5, Sucker: 0, Temptation: 4, Punishment: 1}},
+		{"ordering violated (S>P)", Matrix{Reward: 3, Sucker: 2, Temptation: 4, Punishment: 1}},
+		{"2R <= T+S", Matrix{Reward: 3, Sucker: 2.5, Temptation: 4, Punishment: 2.6}},
+		{"zero matrix", Matrix{}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.m)
+		}
+	}
+}
+
+func TestPayoffOutcomes(t *testing.T) {
+	m := Standard()
+	cases := []struct {
+		my, opp Move
+		want    float64
+	}{
+		{Cooperate, Cooperate, 3},
+		{Cooperate, Defect, 0},
+		{Defect, Cooperate, 4},
+		{Defect, Defect, 1},
+	}
+	for _, tc := range cases {
+		if got := m.Payoff(tc.my, tc.opp); got != tc.want {
+			t.Errorf("Payoff(%s,%s) = %v, want %v", tc.my, tc.opp, got, tc.want)
+		}
+	}
+}
+
+func TestTableMatchesPayoff(t *testing.T) {
+	m := Standard()
+	tab := m.Table()
+	for _, my := range []Move{Cooperate, Defect} {
+		for _, opp := range []Move{Cooperate, Defect} {
+			if tab[RoundCode(my, opp)] != m.Payoff(my, opp) {
+				t.Errorf("Table[%d] = %v, Payoff(%s,%s) = %v",
+					RoundCode(my, opp), tab[RoundCode(my, opp)], my, opp, m.Payoff(my, opp))
+			}
+		}
+	}
+}
+
+func TestMaxMinPerRound(t *testing.T) {
+	m := Standard()
+	if m.MaxPerRound() != 4 {
+		t.Fatalf("MaxPerRound = %v, want 4 (Temptation)", m.MaxPerRound())
+	}
+	if m.MinPerRound() != 0 {
+		t.Fatalf("MinPerRound = %v, want 0 (Sucker)", m.MinPerRound())
+	}
+}
+
+func TestMoveStringAndFlip(t *testing.T) {
+	if Cooperate.String() != "C" || Defect.String() != "D" {
+		t.Fatalf("Move.String incorrect: %s %s", Cooperate, Defect)
+	}
+	if Cooperate.Flip() != Defect || Defect.Flip() != Cooperate {
+		t.Fatal("Flip does not invert moves")
+	}
+	if Cooperate.Flip().Flip() != Cooperate {
+		t.Fatal("double Flip is not identity")
+	}
+}
+
+// Property: the payoff table always matches the branching payoff for any
+// matrix (the two accumulation modes of the engine must be interchangeable).
+func TestQuickTableEquivalence(t *testing.T) {
+	f := func(r, s, tt, p float64) bool {
+		m := Matrix{Reward: r, Sucker: s, Temptation: tt, Punishment: p}
+		tab := m.Table()
+		for _, my := range []Move{Cooperate, Defect} {
+			for _, opp := range []Move{Cooperate, Defect} {
+				if tab[RoundCode(my, opp)] != m.Payoff(my, opp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+package mpi
+
+import "math"
+
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

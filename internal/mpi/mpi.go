@@ -1,0 +1,486 @@
+// Package mpi provides an in-process message-passing runtime with the small
+// subset of MPI semantics the evolutionary game dynamics framework needs:
+// SPMD rank launch, point-to-point sends and receives with tag matching
+// (blocking and non-blocking), and the collective operations the Nature
+// Agent uses (broadcast, barrier, gather, reduce, all-reduce).
+//
+// The paper's implementation runs on Blue Gene/P and Blue Gene/Q with MPI
+// over the torus and collective networks.  This package substitutes
+// goroutines for MPI processes and channels/queues for the network: the
+// communication pattern of the algorithm — who sends what to whom and when —
+// is preserved exactly, and the per-rank traffic statistics the runtime
+// collects feed the analytic performance model of internal/perfmodel that
+// extrapolates to Blue Gene scale.
+//
+// Semantics:
+//
+//   - Sends are asynchronous and buffered (eager protocol): Send never blocks
+//     waiting for the receiver.
+//   - Messages between a fixed (source, destination) pair are delivered in
+//     the order they were sent when matched with the same tag.
+//   - Recv blocks until a matching message arrives.
+//   - Collectives must be called by every rank of the communicator; they are
+//     implemented on top of point-to-point messages using a reserved tag
+//     space (tags >= 1<<30 are reserved).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AnyTag matches a message with any tag in Recv and Irecv.
+const AnyTag = -1
+
+// reservedTagBase is the start of the tag space used internally by the
+// collective operations.
+const reservedTagBase = 1 << 30
+
+// ErrInvalidRank is returned when a rank argument is outside [0, Size).
+var ErrInvalidRank = errors.New("mpi: invalid rank")
+
+// ErrInvalidTag is returned when a user-supplied tag falls in the reserved
+// collective tag space or is negative (other than AnyTag for receives).
+var ErrInvalidTag = errors.New("mpi: invalid tag")
+
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// mailbox is the per-destination queue of undelivered messages from all
+// sources, protected by a mutex and condition variable so receivers can wait
+// for a match.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag); src < 0
+// matches any source, tag == AnyTag matches any tag.
+func (m *mailbox) take(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (src < 0 || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// fabric is the shared state of one communicator: one mailbox per rank.
+type fabric struct {
+	size      int
+	mailboxes []*mailbox
+}
+
+// Stats aggregates per-rank communication counters; the scaling studies use
+// them to report communication volume per generation.
+type Stats struct {
+	SendCount   int64
+	RecvCount   int64
+	BytesSent   int64
+	BytesRecv   int64
+	Collectives int64
+	// TimeBlocked is the cumulative wall-clock time the rank spent waiting
+	// inside Recv and collective calls.
+	TimeBlocked time.Duration
+}
+
+// Comm is one rank's handle on the communicator.  A Comm is owned by a
+// single goroutine (its rank); it must not be shared.
+type Comm struct {
+	rank   int
+	fabric *fabric
+
+	sendCount   atomic.Int64
+	recvCount   atomic.Int64
+	bytesSent   atomic.Int64
+	bytesRecv   atomic.Int64
+	collectives atomic.Int64
+	blockedNs   atomic.Int64
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.fabric.size }
+
+// Stats returns a snapshot of this rank's communication counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		SendCount:   c.sendCount.Load(),
+		RecvCount:   c.recvCount.Load(),
+		BytesSent:   c.bytesSent.Load(),
+		BytesRecv:   c.bytesRecv.Load(),
+		Collectives: c.collectives.Load(),
+		TimeBlocked: time.Duration(c.blockedNs.Load()),
+	}
+}
+
+func (c *Comm) checkRank(rank int) error {
+	if rank < 0 || rank >= c.fabric.size {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrInvalidRank, rank, c.fabric.size)
+	}
+	return nil
+}
+
+func checkUserTag(tag int) error {
+	if tag < 0 || tag >= reservedTagBase {
+		return fmt.Errorf("%w: %d", ErrInvalidTag, tag)
+	}
+	return nil
+}
+
+// send delivers data to the destination mailbox; the payload is copied so
+// the caller may reuse its buffer immediately.
+func (c *Comm) send(to, tag int, data []byte) error {
+	if err := c.checkRank(to); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.fabric.mailboxes[to].put(message{src: c.rank, tag: tag, data: cp})
+	c.sendCount.Add(1)
+	c.bytesSent.Add(int64(len(data)))
+	return nil
+}
+
+func (c *Comm) recv(from, tag int) ([]byte, int, error) {
+	if from >= c.fabric.size {
+		return nil, 0, fmt.Errorf("%w: %d not in [0,%d)", ErrInvalidRank, from, c.fabric.size)
+	}
+	start := time.Now()
+	msg := c.fabric.mailboxes[c.rank].take(from, tag)
+	c.blockedNs.Add(int64(time.Since(start)))
+	c.recvCount.Add(1)
+	c.bytesRecv.Add(int64(len(msg.data)))
+	return msg.data, msg.src, nil
+}
+
+// Send transmits data to rank `to` with the given tag.  It does not block
+// waiting for a matching receive.
+func (c *Comm) Send(to, tag int, data []byte) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	return c.send(to, tag, data)
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// (AnySource is not supported; pass the concrete rank).  Tag may be AnyTag.
+func (c *Comm) Recv(from, tag int) ([]byte, error) {
+	if tag != AnyTag {
+		if err := checkUserTag(tag); err != nil {
+			return nil, err
+		}
+	}
+	if from < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidRank, from)
+	}
+	data, _, err := c.recv(from, tag)
+	return data, err
+}
+
+// Request represents an in-flight non-blocking operation.
+type Request struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Wait blocks until the operation completes and returns the received data
+// (nil for sends) and any error.
+func (r *Request) Wait() ([]byte, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// Isend starts a non-blocking send.  Because sends are eager the operation
+// completes immediately; the Request exists for symmetry with MPI code.
+func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	req := &Request{done: make(chan struct{})}
+	req.err = c.Send(to, tag, data)
+	close(req.done)
+	return req
+}
+
+// Irecv starts a non-blocking receive; Wait returns the payload.
+func (c *Comm) Irecv(from, tag int) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		req.data, req.err = c.Recv(from, tag)
+		close(req.done)
+	}()
+	return req
+}
+
+// Bcast broadcasts data from root to every rank.  Every rank must call it;
+// the root passes the payload, other ranks pass nil and receive the payload
+// as the return value.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.collectives.Add(1)
+	tag := reservedTagBase + 1
+	if c.rank == root {
+		for r := 0; r < c.fabric.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	start := time.Now()
+	out, _, err := c.recv(root, tag)
+	c.blockedNs.Add(int64(time.Since(start)))
+	return out, err
+}
+
+// Gather collects each rank's payload at root.  At root the result has Size
+// entries indexed by rank (root's own contribution included); other ranks
+// receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.collectives.Add(1)
+	tag := reservedTagBase + 2
+	if c.rank != root {
+		return nil, c.send(root, tag, data)
+	}
+	out := make([][]byte, c.fabric.size)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < c.fabric.size; r++ {
+		if r == root {
+			continue
+		}
+		payload, _, err := c.recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = payload
+	}
+	return out, nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	c.collectives.Add(1)
+	const root = 0
+	tagIn := reservedTagBase + 3
+	tagOut := reservedTagBase + 4
+	if c.rank == root {
+		for r := 1; r < c.fabric.size; r++ {
+			if _, _, err := c.recv(-1, tagIn); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.fabric.size; r++ {
+			if err := c.send(r, tagOut, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.send(root, tagIn, nil); err != nil {
+		return err
+	}
+	_, _, err := c.recv(root, tagOut)
+	return err
+}
+
+// ReduceOp is a binary reduction operator over float64.
+type ReduceOp func(a, b float64) float64
+
+// Common reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines each rank's value with op; the result is returned at root
+// (other ranks receive 0 and should ignore the value).
+func (c *Comm) Reduce(root int, value float64, op ReduceOp) (float64, error) {
+	if err := c.checkRank(root); err != nil {
+		return 0, err
+	}
+	if op == nil {
+		return 0, errors.New("mpi: nil reduce operator")
+	}
+	c.collectives.Add(1)
+	tag := reservedTagBase + 5
+	buf := encodeFloat64(value)
+	if c.rank != root {
+		return 0, c.send(root, tag, buf)
+	}
+	acc := value
+	for r := 0; r < c.fabric.size; r++ {
+		if r == root {
+			continue
+		}
+		payload, _, err := c.recv(r, tag)
+		if err != nil {
+			return 0, err
+		}
+		v, err := decodeFloat64(payload)
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, v)
+	}
+	return acc, nil
+}
+
+// Allreduce combines each rank's value with op and returns the result on
+// every rank.
+func (c *Comm) Allreduce(value float64, op ReduceOp) (float64, error) {
+	total, err := c.Reduce(0, value, op)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, encodeFloat64(total))
+	if err != nil {
+		return 0, err
+	}
+	return decodeFloat64(out)
+}
+
+// AllgatherFloat64 gathers one float64 from every rank and returns the full
+// vector (indexed by rank) on every rank.
+func (c *Comm) AllgatherFloat64(value float64) ([]float64, error) {
+	gathered, err := c.Gather(0, encodeFloat64(value))
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		packed = make([]byte, 0, 8*c.fabric.size)
+		for _, g := range gathered {
+			packed = append(packed, g...)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	if len(packed) != 8*c.fabric.size {
+		return nil, fmt.Errorf("mpi: allgather payload has %d bytes, want %d", len(packed), 8*c.fabric.size)
+	}
+	out := make([]float64, c.fabric.size)
+	for i := range out {
+		v, err := decodeFloat64(packed[8*i : 8*i+8])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Run launches size ranks, each executing fn with its own Comm, and waits
+// for all of them to finish.  The first non-nil error is returned (all ranks
+// still run to completion).  Run panics propagate to the caller as errors.
+func Run(size int, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: communicator size must be positive, got %d", size)
+	}
+	if fn == nil {
+		return errors.New("mpi: nil rank function")
+	}
+	f := &fabric{size: size, mailboxes: make([]*mailbox, size)}
+	for i := range f.mailboxes {
+		f.mailboxes[i] = newMailbox()
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, fabric: f})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCollect behaves like Run but also collects a per-rank result value.
+func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
+	results := make([]T, size)
+	err := Run(size, func(c *Comm) error {
+		v, err := fn(c)
+		results[c.Rank()] = v
+		return err
+	})
+	return results, err
+}
+
+func encodeFloat64(v float64) []byte {
+	bits := float64bits(v)
+	buf := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * uint(i)))
+	}
+	return buf
+}
+
+func decodeFloat64(buf []byte) (float64, error) {
+	if len(buf) != 8 {
+		return 0, fmt.Errorf("mpi: float64 payload has %d bytes", len(buf))
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(buf[i]) << (8 * uint(i))
+	}
+	return float64frombits(bits), nil
+}

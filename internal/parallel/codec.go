@@ -1,0 +1,191 @@
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"evogame/internal/strategy"
+)
+
+// This file defines the wire formats exchanged between the Nature Agent and
+// the SSet ranks.  Every message is a flat little-endian byte slice so the
+// traffic volume reported by the mpi stats matches what a real MPI
+// implementation would move.
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+func decodeFitness(buf []byte) float64 {
+	if len(buf) != 8 {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf))
+}
+
+// encodeTable packs the full strategy table: a uint32 count followed by
+// length-prefixed strategy encodings.
+func encodeTable(table []strategy.Strategy) ([]byte, error) {
+	out := make([]byte, 4, 4+len(table)*16)
+	binary.LittleEndian.PutUint32(out, uint32(len(table)))
+	for i, s := range table {
+		enc, err := strategy.Encode(s)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: encoding strategy %d: %w", i, err)
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// decodeTable reverses encodeTable.
+func decodeTable(buf []byte) ([]strategy.Strategy, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("parallel: table payload too short (%d bytes)", len(buf))
+	}
+	count := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	out := make([]strategy.Strategy, 0, count)
+	for i := 0; i < count; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("parallel: table payload truncated at strategy %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < n {
+			return nil, fmt.Errorf("parallel: table payload truncated inside strategy %d", i)
+		}
+		s, err := strategy.Decode(buf[:n])
+		if err != nil {
+			return nil, fmt.Errorf("parallel: decoding strategy %d: %w", i, err)
+		}
+		out = append(out, s)
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("parallel: %d trailing bytes after table payload", len(buf))
+	}
+	return out, nil
+}
+
+// encodeSelection packs the pairwise-comparison selection broadcast: a flag
+// byte followed by the teacher and learner SSet indices.
+func encodeSelection(ok bool, teacher, learner int) []byte {
+	out := make([]byte, 9)
+	if ok {
+		out[0] = 1
+		binary.LittleEndian.PutUint32(out[1:], uint32(teacher))
+		binary.LittleEndian.PutUint32(out[5:], uint32(learner))
+	}
+	return out
+}
+
+// decodeSelection reverses encodeSelection; malformed payloads are treated
+// as "no event" since the Nature Agent is the only sender.
+func decodeSelection(buf []byte) (ok bool, teacher, learner int) {
+	if len(buf) != 9 || buf[0] == 0 {
+		return false, 0, 0
+	}
+	return true, int(binary.LittleEndian.Uint32(buf[1:])), int(binary.LittleEndian.Uint32(buf[5:]))
+}
+
+// updateMessage is the per-generation strategy-table update broadcast after
+// the learning and mutation phases.
+type updateMessage struct {
+	learning        bool
+	learner         int
+	learnerStrategy strategy.Strategy
+	mutation        bool
+	target          int
+	targetStrategy  strategy.Strategy
+}
+
+// encodeUpdate packs an updateMessage: a flag byte (bit 0 learning, bit 1
+// mutation) followed by, for each present component, a uint32 SSet index and
+// a length-prefixed strategy encoding.
+func encodeUpdate(u updateMessage) ([]byte, error) {
+	flags := byte(0)
+	if u.learning {
+		flags |= 1
+	}
+	if u.mutation {
+		flags |= 2
+	}
+	out := []byte{flags}
+	appendStrat := func(id int, s strategy.Strategy) error {
+		enc, err := strategy.Encode(s)
+		if err != nil {
+			return err
+		}
+		var idBuf [4]byte
+		binary.LittleEndian.PutUint32(idBuf[:], uint32(id))
+		out = append(out, idBuf[:]...)
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, enc...)
+		return nil
+	}
+	if u.learning {
+		if err := appendStrat(u.learner, u.learnerStrategy); err != nil {
+			return nil, err
+		}
+	}
+	if u.mutation {
+		if err := appendStrat(u.target, u.targetStrategy); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeUpdate reverses encodeUpdate.
+func decodeUpdate(buf []byte) (updateMessage, error) {
+	var u updateMessage
+	if len(buf) < 1 {
+		return u, fmt.Errorf("parallel: empty update payload")
+	}
+	flags := buf[0]
+	buf = buf[1:]
+	readStrat := func() (int, strategy.Strategy, error) {
+		if len(buf) < 8 {
+			return 0, nil, fmt.Errorf("parallel: update payload truncated")
+		}
+		id := int(binary.LittleEndian.Uint32(buf))
+		n := int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+		if len(buf) < n {
+			return 0, nil, fmt.Errorf("parallel: update payload truncated inside strategy")
+		}
+		s, err := strategy.Decode(buf[:n])
+		if err != nil {
+			return 0, nil, err
+		}
+		buf = buf[n:]
+		return id, s, nil
+	}
+	if flags&1 != 0 {
+		id, s, err := readStrat()
+		if err != nil {
+			return u, err
+		}
+		u.learning = true
+		u.learner = id
+		u.learnerStrategy = s
+	}
+	if flags&2 != 0 {
+		id, s, err := readStrat()
+		if err != nil {
+			return u, err
+		}
+		u.mutation = true
+		u.target = id
+		u.targetStrategy = s
+	}
+	if len(buf) != 0 {
+		return u, fmt.Errorf("parallel: %d trailing bytes after update payload", len(buf))
+	}
+	return u, nil
+}

@@ -1,0 +1,608 @@
+// Package parallel implements the paper's primary contribution: the
+// multi-level decomposition of evolutionary game dynamics across a
+// distributed machine.
+//
+// Rank 0 is the Nature Agent; every other rank owns a contiguous block of
+// Strategy Sets.  Within one generation each SSet rank plays the Iterated
+// Prisoner's Dilemma games of its local SSets against the strategies of
+// every other SSet in the population, fanning the games across worker
+// goroutines (the "OpenMP thread" tier of the paper's hybrid model).  The
+// Nature Agent then drives the population dynamics: it broadcasts the pair
+// of SSets selected for pairwise-comparison learning, the owning ranks
+// return their relative fitness with point-to-point messages, and the Nature
+// Agent broadcasts the resulting strategy-table update together with any
+// mutation (Figure 1(b) of the paper).
+//
+// The engine is deterministic: for a given Config (including Seed) the
+// sequence of evolutionary events, and therefore the final strategy table,
+// is identical regardless of the number of ranks or worker goroutines, and —
+// for noiseless games — identical to the serial reference engine in
+// internal/population.  Tests rely on this equivalence.
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"evogame/internal/game"
+	"evogame/internal/mpi"
+	"evogame/internal/nature"
+	"evogame/internal/rng"
+	"evogame/internal/sset"
+	"evogame/internal/strategy"
+	"evogame/internal/trace"
+)
+
+// OptLevel selects the cumulative optimization levels of the paper's
+// Figure 3.  Each level includes all previous ones.
+type OptLevel int
+
+const (
+	// OptOriginal is the unoptimized baseline: blocking fitness returns,
+	// linear-search state identification and branching fitness accumulation.
+	OptOriginal OptLevel = iota
+	// OptNonBlockingComm switches the fitness returns to non-blocking sends
+	// (the paper's "Comm" level).
+	OptNonBlockingComm
+	// OptStateLookup replaces the linear state search with the O(1) rolling
+	// state code (the paper's "Compiler" level).
+	OptStateLookup
+	// OptFusedFitness accumulates payoffs through the fused look-up table
+	// (the paper's "Instruction" level, standing in for the hand-coded
+	// fused multiply-add kernel).
+	OptFusedFitness
+)
+
+// String implements fmt.Stringer.
+func (o OptLevel) String() string {
+	switch o {
+	case OptOriginal:
+		return "original"
+	case OptNonBlockingComm:
+		return "comm"
+	case OptStateLookup:
+		return "compiler"
+	case OptFusedFitness:
+		return "instruction"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+}
+
+// stateMode returns the game kernel state mode for the optimization level.
+func (o OptLevel) stateMode() game.StateMode {
+	if o >= OptStateLookup {
+		return game.StateRolling
+	}
+	return game.StateLinearSearch
+}
+
+// accumMode returns the fitness accumulation mode for the optimization
+// level.
+func (o OptLevel) accumMode() game.AccumMode {
+	if o >= OptFusedFitness {
+		return game.AccumLookup
+	}
+	return game.AccumBranching
+}
+
+// nonBlocking reports whether fitness returns use non-blocking sends.
+func (o OptLevel) nonBlocking() bool { return o >= OptNonBlockingComm }
+
+// Config describes a distributed run.
+type Config struct {
+	// Ranks is the total number of ranks including the Nature Agent at rank
+	// 0; it must be at least 2.
+	Ranks int
+	// WorkersPerRank bounds the worker goroutines each SSet rank uses for
+	// game play.  Zero selects one worker per local SSet game batch
+	// (GOMAXPROCS-bounded inside the sset package).
+	WorkersPerRank int
+
+	// NumSSets, AgentsPerSSet, MemorySteps, Rounds and Noise describe the
+	// population and the game, exactly as in population.Config.
+	NumSSets      int
+	AgentsPerSSet int
+	MemorySteps   int
+	Rounds        int
+	Noise         float64
+
+	// PCRate, MutationRate and Beta configure the Nature Agent (zero values
+	// select the paper's defaults).
+	PCRate       float64
+	MutationRate float64
+	Beta         float64
+
+	// Generations is the number of generations to simulate.
+	Generations int
+	// Seed drives all randomness.
+	Seed uint64
+	// OptLevel selects the Figure 3 optimization level; the zero value is
+	// OptOriginal.  Use OptFusedFitness for production runs.
+	OptLevel OptLevel
+	// InitialStrategies optionally fixes the initial strategy table (length
+	// NumSSets); when nil the table is drawn uniformly at random, matching
+	// the serial engine's initialisation for the same Seed.
+	InitialStrategies []strategy.Strategy
+	// SkipFitnessWhenIdle, when true, evaluates fitness only on generations
+	// with a pairwise-comparison event instead of every generation.  The
+	// paper's implementation computes every generation (that is the work the
+	// scaling studies measure), which is the default here; the flag exists
+	// for long scientific runs where only the dynamics matter.
+	SkipFitnessWhenIdle bool
+}
+
+func (c Config) validate() error {
+	if c.Ranks < 2 {
+		return fmt.Errorf("parallel: need at least 2 ranks (Nature + 1 SSet rank), got %d", c.Ranks)
+	}
+	if c.NumSSets < 2 {
+		return fmt.Errorf("parallel: need at least 2 SSets, got %d", c.NumSSets)
+	}
+	if c.NumSSets < c.Ranks-1 {
+		return fmt.Errorf("parallel: %d SSets cannot occupy %d SSet ranks", c.NumSSets, c.Ranks-1)
+	}
+	if c.AgentsPerSSet < 1 {
+		return fmt.Errorf("parallel: agents per SSet must be positive, got %d", c.AgentsPerSSet)
+	}
+	if c.MemorySteps < 1 || c.MemorySteps > game.MaxMemorySteps {
+		return fmt.Errorf("parallel: memory steps %d out of range [1,%d]", c.MemorySteps, game.MaxMemorySteps)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("parallel: rounds must be positive, got %d", c.Rounds)
+	}
+	if c.Generations < 0 {
+		return fmt.Errorf("parallel: negative generation count %d", c.Generations)
+	}
+	if c.InitialStrategies != nil && len(c.InitialStrategies) != c.NumSSets {
+		return fmt.Errorf("parallel: %d initial strategies for %d SSets", len(c.InitialStrategies), c.NumSSets)
+	}
+	return nil
+}
+
+// RankReport summarises one rank's work and communication.
+type RankReport struct {
+	Rank        int
+	LocalSSets  int
+	GamesPlayed int64
+	Compute     time.Duration
+	Comm        time.Duration
+	CommStats   mpi.Stats
+}
+
+// Result summarises a completed distributed run.
+type Result struct {
+	// FinalStrategies is the strategy table after the last generation, as
+	// recorded by the Nature Agent.
+	FinalStrategies []strategy.Strategy
+	// Generations is the number of generations simulated.
+	Generations int
+	// WallClock is the end-to-end run time.
+	WallClock time.Duration
+	// Ranks holds the per-rank reports, indexed by rank.
+	Ranks []RankReport
+	// NatureStats counts evolutionary events.
+	NatureStats nature.Stats
+	// TotalGames is the number of IPD games played across all ranks.
+	TotalGames int64
+}
+
+// ComputeTime returns the mean per-rank compute time over the SSet ranks.
+func (r Result) ComputeTime() time.Duration {
+	return r.meanOverSSetRanks(func(rep RankReport) time.Duration { return rep.Compute })
+}
+
+// CommTime returns the mean per-rank communication time over the SSet ranks.
+func (r Result) CommTime() time.Duration {
+	return r.meanOverSSetRanks(func(rep RankReport) time.Duration { return rep.Comm })
+}
+
+func (r Result) meanOverSSetRanks(f func(RankReport) time.Duration) time.Duration {
+	if len(r.Ranks) <= 1 {
+		return 0
+	}
+	var total time.Duration
+	n := 0
+	for _, rep := range r.Ranks {
+		if rep.Rank == 0 {
+			continue
+		}
+		total += f(rep)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// Tags for the point-to-point fitness returns.
+const (
+	tagFitnessTeacher = 1
+	tagFitnessLearner = 2
+)
+
+// blockOwner maps an SSet index to the rank that owns it (block
+// distribution across ranks 1..Ranks-1) and the local index within the
+// block.
+func blockOwner(ssetID, numSSets, ranks int) (owner, local int) {
+	ssetRanks := ranks - 1
+	per := numSSets / ssetRanks
+	extra := numSSets % ssetRanks
+	// The first `extra` ranks hold per+1 SSets.
+	cut := extra * (per + 1)
+	if ssetID < cut {
+		owner = ssetID / (per + 1)
+		local = ssetID % (per + 1)
+	} else {
+		owner = extra + (ssetID-cut)/per
+		local = (ssetID - cut) % per
+	}
+	return owner + 1, local
+}
+
+// blockRange returns the half-open range of SSet indices owned by the given
+// SSet rank (rank >= 1).
+func blockRange(rank, numSSets, ranks int) (lo, hi int) {
+	ssetRanks := ranks - 1
+	per := numSSets / ssetRanks
+	extra := numSSets % ssetRanks
+	idx := rank - 1
+	if idx < extra {
+		lo = idx * (per + 1)
+		hi = lo + per + 1
+		return lo, hi
+	}
+	lo = extra*(per+1) + (idx-extra)*per
+	hi = lo + per
+	return lo, hi
+}
+
+// mixSeed derives a deterministic per-(generation, SSet) seed for noisy game
+// play so that results do not depend on rank layout or scheduling.
+func mixSeed(seed uint64, gen, ssetID int) uint64 {
+	x := seed ^ 0x9E3779B97F4A7C15
+	x ^= uint64(gen+1) * 0xBF58476D1CE4E5B9
+	x ^= uint64(ssetID+1) * 0x94D049BB133111EB
+	x ^= x >> 29
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Run executes the distributed simulation and returns the result.  All
+// ranks run as goroutines inside the calling process, communicating through
+// the in-process message-passing runtime.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	reports := make([]RankReport, cfg.Ranks)
+	var finalTable []strategy.Strategy
+	var natStats nature.Stats
+
+	err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			table, stats, rep, err := natureRank(c, cfg)
+			if err != nil {
+				return err
+			}
+			finalTable = table
+			natStats = stats
+			reports[0] = rep
+			return nil
+		}
+		rep, err := ssetRank(c, cfg)
+		if err != nil {
+			return err
+		}
+		reports[c.Rank()] = rep
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		FinalStrategies: finalTable,
+		Generations:     cfg.Generations,
+		WallClock:       time.Since(start),
+		Ranks:           reports,
+		NatureStats:     natStats,
+	}
+	for _, rep := range reports {
+		res.TotalGames += rep.GamesPlayed
+	}
+	return res, nil
+}
+
+// natureRank runs the Nature Agent on rank 0: it owns the authoritative
+// strategy table, selects the evolutionary events, and broadcasts updates.
+func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, RankReport, error) {
+	rec := trace.NewRecorder()
+	root := rng.New(cfg.Seed)
+	natSrc := root.Split()
+	initSrc := root.Split()
+
+	nat, err := nature.New(nature.Config{
+		PCRate:       cfg.PCRate,
+		MutationRate: cfg.MutationRate,
+		Beta:         cfg.Beta,
+		MemorySteps:  cfg.MemorySteps,
+	}, natSrc)
+	if err != nil {
+		return nil, nature.Stats{}, RankReport{}, err
+	}
+
+	initial := cfg.InitialStrategies
+	if initial == nil {
+		initial = make([]strategy.Strategy, cfg.NumSSets)
+		for i := range initial {
+			initial[i] = strategy.RandomPure(cfg.MemorySteps, initSrc)
+		}
+	}
+	table, err := nature.NewTable(initial)
+	if err != nil {
+		return nil, nature.Stats{}, RankReport{}, err
+	}
+
+	// Setup phase: broadcast the initial strategy table to all SSet ranks.
+	payload, err := encodeTable(table.Snapshot())
+	if err != nil {
+		return nil, nature.Stats{}, RankReport{}, err
+	}
+	if err := rec.TimeErr(trace.PhaseComm, func() error {
+		_, err := c.Bcast(0, payload)
+		return err
+	}); err != nil {
+		return nil, nature.Stats{}, RankReport{}, err
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Phase 1: pairwise-comparison selection broadcast.
+		teacher, learner, pcOK := nat.MaybeSelectPC(cfg.NumSSets)
+		sel := encodeSelection(pcOK, teacher, learner)
+		if err := rec.TimeErr(trace.PhaseComm, func() error {
+			_, err := c.Bcast(0, sel)
+			return err
+		}); err != nil {
+			return nil, nature.Stats{}, RankReport{}, err
+		}
+
+		// Phase 2: collect fitness from the owners of the selected SSets and
+		// decide adoption.
+		var update updateMessage
+		if pcOK {
+			teacherOwner, _ := blockOwner(teacher, cfg.NumSSets, cfg.Ranks)
+			learnerOwner, _ := blockOwner(learner, cfg.NumSSets, cfg.Ranks)
+			var fitTeacher, fitLearner float64
+			if err := rec.TimeErr(trace.PhaseComm, func() error {
+				tBuf, err := c.Recv(teacherOwner, tagFitnessTeacher)
+				if err != nil {
+					return err
+				}
+				lBuf, err := c.Recv(learnerOwner, tagFitnessLearner)
+				if err != nil {
+					return err
+				}
+				fitTeacher = decodeFitness(tBuf)
+				fitLearner = decodeFitness(lBuf)
+				return nil
+			}); err != nil {
+				return nil, nature.Stats{}, RankReport{}, err
+			}
+			adopted, _ := nat.DecideAdoption(fitTeacher, fitLearner)
+			nat.RecordPC(adopted)
+			if adopted {
+				newStrat := table.Get(teacher).Clone()
+				if err := table.Set(learner, newStrat); err != nil {
+					return nil, nature.Stats{}, RankReport{}, err
+				}
+				update.learning = true
+				update.learner = learner
+				update.learnerStrategy = newStrat
+			}
+		}
+
+		// Phase 3: mutation.
+		if target, newStrat, ok := nat.MaybeMutation(cfg.NumSSets); ok {
+			if err := table.Set(target, newStrat); err != nil {
+				return nil, nature.Stats{}, RankReport{}, err
+			}
+			update.mutation = true
+			update.target = target
+			update.targetStrategy = newStrat
+		}
+
+		// Phase 4: broadcast the strategy-table update.
+		buf, err := encodeUpdate(update)
+		if err != nil {
+			return nil, nature.Stats{}, RankReport{}, err
+		}
+		if err := rec.TimeErr(trace.PhaseComm, func() error {
+			_, err := c.Bcast(0, buf)
+			return err
+		}); err != nil {
+			return nil, nature.Stats{}, RankReport{}, err
+		}
+		nat.EndGeneration()
+	}
+
+	rep := RankReport{
+		Rank:      0,
+		Compute:   rec.Total(trace.PhaseCompute),
+		Comm:      rec.Total(trace.PhaseComm),
+		CommStats: c.Stats(),
+	}
+	return table.Snapshot(), nat.Stats(), rep, nil
+}
+
+// ssetRank runs one Strategy-Set-owning rank: it plays the local games each
+// generation, answers the Nature Agent's fitness requests, and applies the
+// broadcast strategy-table updates.
+func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
+	rec := trace.NewRecorder()
+	lo, hi := blockRange(c.Rank(), cfg.NumSSets, cfg.Ranks)
+
+	engine, err := game.NewEngine(game.EngineConfig{
+		Rounds:      cfg.Rounds,
+		MemorySteps: cfg.MemorySteps,
+		Noise:       cfg.Noise,
+		StateMode:   cfg.OptLevel.stateMode(),
+		AccumMode:   cfg.OptLevel.accumMode(),
+	})
+	if err != nil {
+		return RankReport{}, err
+	}
+
+	// Setup phase: receive the initial strategy table.
+	var tableBytes []byte
+	if err := rec.TimeErr(trace.PhaseComm, func() error {
+		var err error
+		tableBytes, err = c.Bcast(0, nil)
+		return err
+	}); err != nil {
+		return RankReport{}, err
+	}
+	table, err := decodeTable(tableBytes)
+	if err != nil {
+		return RankReport{}, err
+	}
+	if len(table) != cfg.NumSSets {
+		return RankReport{}, fmt.Errorf("parallel: rank %d received a table of %d strategies, want %d",
+			c.Rank(), len(table), cfg.NumSSets)
+	}
+
+	// Build the local SSets.
+	locals := make([]*sset.SSet, 0, hi-lo)
+	for id := lo; id < hi; id++ {
+		s, err := sset.New(id, cfg.AgentsPerSSet, table[id])
+		if err != nil {
+			return RankReport{}, err
+		}
+		locals = append(locals, s)
+	}
+
+	games := int64(0)
+	fitness := make([]float64, hi-lo)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Phase 1: receive the pairwise-comparison selection first so the
+		// rank can skip the game play on idle generations when configured to.
+		var sel []byte
+		if err := rec.TimeErr(trace.PhaseComm, func() error {
+			var err error
+			sel, err = c.Bcast(0, nil)
+			return err
+		}); err != nil {
+			return RankReport{}, err
+		}
+		pcOK, teacher, learner := decodeSelection(sel)
+
+		// Phase 2: local game play (the dominant compute).
+		if !cfg.SkipFitnessWhenIdle || pcOK {
+			err := rec.TimeErr(trace.PhaseCompute, func() error {
+				for li, s := range locals {
+					opponents := make([]strategy.Strategy, 0, cfg.NumSSets-1)
+					for j := 0; j < cfg.NumSSets; j++ {
+						if j != s.ID() {
+							opponents = append(opponents, table[j])
+						}
+					}
+					var src *rng.Source
+					if cfg.Noise > 0 {
+						src = rng.New(mixSeed(cfg.Seed, gen, s.ID()))
+					}
+					fit, err := s.Fitness(engine, opponents, sset.FitnessOptions{
+						Workers: cfg.WorkersPerRank,
+						Source:  src,
+					})
+					if err != nil {
+						return err
+					}
+					fitness[li] = fit
+					games += int64(len(opponents))
+				}
+				return nil
+			})
+			if err != nil {
+				return RankReport{}, err
+			}
+		}
+
+		// Phase 3: return fitness for selected SSets.
+		if pcOK {
+			if err := rec.TimeErr(trace.PhaseComm, func() error {
+				if teacher >= lo && teacher < hi {
+					if err := sendFitness(c, cfg.OptLevel, tagFitnessTeacher, fitness[teacher-lo]); err != nil {
+						return err
+					}
+				}
+				if learner >= lo && learner < hi {
+					if err := sendFitness(c, cfg.OptLevel, tagFitnessLearner, fitness[learner-lo]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return RankReport{}, err
+			}
+		}
+
+		// Phase 4: receive and apply the strategy-table update.
+		var upBuf []byte
+		if err := rec.TimeErr(trace.PhaseComm, func() error {
+			var err error
+			upBuf, err = c.Bcast(0, nil)
+			return err
+		}); err != nil {
+			return RankReport{}, err
+		}
+		update, err := decodeUpdate(upBuf)
+		if err != nil {
+			return RankReport{}, err
+		}
+		if update.learning {
+			table[update.learner] = update.learnerStrategy
+			if update.learner >= lo && update.learner < hi {
+				if err := locals[update.learner-lo].SetStrategy(update.learnerStrategy); err != nil {
+					return RankReport{}, err
+				}
+			}
+		}
+		if update.mutation {
+			table[update.target] = update.targetStrategy
+			if update.target >= lo && update.target < hi {
+				if err := locals[update.target-lo].SetStrategy(update.targetStrategy); err != nil {
+					return RankReport{}, err
+				}
+			}
+		}
+	}
+
+	rep := RankReport{
+		Rank:        c.Rank(),
+		LocalSSets:  hi - lo,
+		GamesPlayed: games,
+		Compute:     rec.Total(trace.PhaseCompute),
+		Comm:        rec.Total(trace.PhaseComm),
+		CommStats:   c.Stats(),
+	}
+	return rep, nil
+}
+
+// sendFitness returns the relative fitness of a selected SSet to the Nature
+// Agent, using a non-blocking send above the "Comm" optimization level.
+func sendFitness(c *mpi.Comm, opt OptLevel, tag int, fitness float64) error {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(floatBits(fitness)))
+	if opt.nonBlocking() {
+		req := c.Isend(0, tag, buf)
+		_, err := req.Wait()
+		return err
+	}
+	return c.Send(0, tag, buf)
+}

@@ -1,0 +1,436 @@
+// Package population implements the serial (single-process) evolutionary
+// game dynamics engine: a population of Strategy Sets evolving under
+// pairwise-comparison learning and mutation driven by the Nature Agent.
+//
+// The serial engine is the scientific reference implementation: the parallel
+// engine of internal/parallel reproduces exactly the same dynamics (same
+// seed, same sequence of events, same strategy-table history) while
+// distributing the game play across ranks and worker goroutines.  It is also
+// the engine behind the Figure 2 validation study (emergence of Win-Stay
+// Lose-Shift).
+package population
+
+import (
+	"context"
+	"fmt"
+
+	"evogame/internal/game"
+	"evogame/internal/nature"
+	"evogame/internal/rng"
+	"evogame/internal/sset"
+	"evogame/internal/strategy"
+)
+
+// FitnessMode selects how the engine computes SSet fitness.
+type FitnessMode int
+
+const (
+	// FitnessCachedDistinct exploits the fact that all agents of an SSet
+	// share one deterministic strategy: each distinct strategy pair present
+	// in the population is played once per evaluation and the result is
+	// reused for every SSet holding that strategy.  This is the redundancy
+	// reduction the paper describes in Section IV-A and makes long
+	// validation runs tractable.
+	FitnessCachedDistinct FitnessMode = iota
+	// FitnessExactAllPairs plays every SSet against every other SSet's
+	// strategy explicitly, exactly as the distributed implementation does.
+	// It is O(S^2) games per evaluation and is used by tests to check that
+	// the cached mode is equivalent, and by the scaling benchmarks where the
+	// volume of game play is the point.
+	FitnessExactAllPairs
+)
+
+// String implements fmt.Stringer.
+func (m FitnessMode) String() string {
+	switch m {
+	case FitnessCachedDistinct:
+		return "cached-distinct"
+	case FitnessExactAllPairs:
+		return "exact-all-pairs"
+	default:
+		return fmt.Sprintf("FitnessMode(%d)", int(m))
+	}
+}
+
+// Config describes a population simulation.
+type Config struct {
+	// NumSSets is the number of Strategy Sets (the paper's validation run
+	// uses 5,000).
+	NumSSets int
+	// AgentsPerSSet is the number of agents per Strategy Set (the paper's
+	// validation run uses 4 agents per SSet: 20,000 agents / 5,000 SSets).
+	AgentsPerSSet int
+	// MemorySteps is the memory depth of the strategies (1..6).
+	MemorySteps int
+	// Rounds is the number of IPD rounds per game (paper: 200).
+	Rounds int
+	// Noise is the per-move error probability (Section III-F).
+	Noise float64
+	// PCRate, MutationRate and Beta configure the Nature Agent; zero values
+	// select the paper's defaults (0.1, 0.05, β=1).
+	PCRate       float64
+	MutationRate float64
+	Beta         float64
+	// Seed seeds all randomness; runs with the same Config are identical.
+	Seed uint64
+	// Workers bounds the worker goroutines used for game play inside a
+	// fitness evaluation (the thread-level tier).  Zero selects GOMAXPROCS.
+	Workers int
+	// FitnessMode selects cached-distinct or exact-all-pairs evaluation.
+	FitnessMode FitnessMode
+	// StateMode and AccumMode select the kernel optimization levels
+	// (Figure 3); the zero values are the optimized settings.
+	StateMode game.StateMode
+	AccumMode game.AccumMode
+	// InitialStrategies optionally fixes the initial strategy of each SSet;
+	// it must have exactly NumSSets entries.  When nil, every SSet starts
+	// with an independent uniformly random pure strategy, as in the paper's
+	// validation study.
+	InitialStrategies []strategy.Strategy
+	// SampleEvery controls how often abundance samples are recorded (in
+	// generations).  Zero disables periodic sampling; a sample is always
+	// taken at the end of the run.
+	SampleEvery int
+}
+
+func (c Config) validate() error {
+	if c.NumSSets < 2 {
+		return fmt.Errorf("population: need at least 2 SSets, got %d", c.NumSSets)
+	}
+	if c.AgentsPerSSet < 1 {
+		return fmt.Errorf("population: agents per SSet must be positive, got %d", c.AgentsPerSSet)
+	}
+	if c.MemorySteps < 1 || c.MemorySteps > game.MaxMemorySteps {
+		return fmt.Errorf("population: memory steps %d out of range [1,%d]", c.MemorySteps, game.MaxMemorySteps)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("population: rounds must be positive, got %d", c.Rounds)
+	}
+	if c.InitialStrategies != nil && len(c.InitialStrategies) != c.NumSSets {
+		return fmt.Errorf("population: %d initial strategies for %d SSets", len(c.InitialStrategies), c.NumSSets)
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("population: SampleEvery must be non-negative, got %d", c.SampleEvery)
+	}
+	return nil
+}
+
+// AbundanceSample records the composition of the population at one
+// generation.
+type AbundanceSample struct {
+	Generation int
+	// Distinct is the number of distinct strategies present.
+	Distinct int
+	// TopStrategy is the String rendering of the most abundant strategy and
+	// TopFraction the fraction of SSets holding it.
+	TopStrategy string
+	TopFraction float64
+	// WSLSFraction and TFTFraction are the fractions of SSets holding the
+	// canonical WSLS / TFT strategy for the configured memory depth;
+	// AllDFraction likewise for always-defect.
+	WSLSFraction float64
+	TFTFraction  float64
+	AllDFraction float64
+	// MeanDefectingStates is the mean fraction of states in which the
+	// population's strategies prescribe defection (a coarse cooperativity
+	// measure over the whole strategy table).
+	MeanDefectingStates float64
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Generations is the number of generations simulated.
+	Generations int
+	// FinalStrategies is the strategy table at the end of the run.
+	FinalStrategies []strategy.Strategy
+	// Samples holds the periodic abundance samples (the last entry is always
+	// the final generation).
+	Samples []AbundanceSample
+	// NatureStats counts the evolutionary events that occurred.
+	NatureStats nature.Stats
+	// TotalGamesPlayed counts two-player IPD games executed by the fitness
+	// evaluations.
+	TotalGamesPlayed int64
+}
+
+// Model is an in-progress population simulation.  It is not safe for
+// concurrent use; the parallelism lives inside the fitness evaluations.
+type Model struct {
+	cfg    Config
+	engine *game.Engine
+	nat    *nature.Agent
+	table  *nature.Table
+	ssets  []*sset.SSet
+	src    *rng.Source
+	gen    int
+	games  int64
+}
+
+// New validates the configuration and builds a Model ready to run.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	engine, err := game.NewEngine(game.EngineConfig{
+		Rounds:      cfg.Rounds,
+		MemorySteps: cfg.MemorySteps,
+		Noise:       cfg.Noise,
+		StateMode:   cfg.StateMode,
+		AccumMode:   cfg.AccumMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	natSrc := root.Split()
+	initSrc := root.Split()
+	gameSrc := root.Split()
+
+	nat, err := nature.New(nature.Config{
+		PCRate:       cfg.PCRate,
+		MutationRate: cfg.MutationRate,
+		Beta:         cfg.Beta,
+		MemorySteps:  cfg.MemorySteps,
+	}, natSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	initial := cfg.InitialStrategies
+	if initial == nil {
+		initial = make([]strategy.Strategy, cfg.NumSSets)
+		for i := range initial {
+			initial[i] = strategy.RandomPure(cfg.MemorySteps, initSrc)
+		}
+	}
+	table, err := nature.NewTable(initial)
+	if err != nil {
+		return nil, err
+	}
+	ssets := make([]*sset.SSet, cfg.NumSSets)
+	for i := range ssets {
+		s, err := sset.New(i, cfg.AgentsPerSSet, table.Get(i))
+		if err != nil {
+			return nil, err
+		}
+		ssets[i] = s
+	}
+	return &Model{cfg: cfg, engine: engine, nat: nat, table: table, ssets: ssets, src: gameSrc}, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Generation returns the number of generations simulated so far.
+func (m *Model) Generation() int { return m.gen }
+
+// PopulationSize returns the total number of agents (SSets × agents per
+// SSet); it is constant across generations.
+func (m *Model) PopulationSize() int { return m.cfg.NumSSets * m.cfg.AgentsPerSSet }
+
+// Strategies returns a snapshot of the current strategy table.
+func (m *Model) Strategies() []strategy.Strategy { return m.table.Snapshot() }
+
+// GamesPlayed returns the number of IPD games executed so far.
+func (m *Model) GamesPlayed() int64 { return m.games }
+
+// FractionOf returns the fraction of SSets currently holding a strategy
+// equal to s.
+func (m *Model) FractionOf(s strategy.Strategy) float64 {
+	count := 0
+	for i := 0; i < m.table.Len(); i++ {
+		if m.table.Get(i).Equal(s) {
+			count++
+		}
+	}
+	return float64(count) / float64(m.table.Len())
+}
+
+// fitnessPair evaluates the relative fitness of the two SSets selected for a
+// pairwise comparison.  Each SSet's fitness is the summed payoff of its
+// strategy against the strategy of every other SSet in the population.
+func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
+	switch m.cfg.FitnessMode {
+	case FitnessExactAllPairs:
+		fa, err := m.fitnessExact(a)
+		if err != nil {
+			return 0, 0, err
+		}
+		fb, err := m.fitnessExact(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fa, fb, nil
+	default:
+		cache := make(map[[2]string]float64)
+		fa, err := m.fitnessCached(a, cache)
+		if err != nil {
+			return 0, 0, err
+		}
+		fb, err := m.fitnessCached(b, cache)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fa, fb, nil
+	}
+}
+
+// fitnessExact plays SSet i against every other SSet's strategy explicitly.
+func (m *Model) fitnessExact(i int) (float64, error) {
+	opponents := make([]strategy.Strategy, 0, m.table.Len()-1)
+	for j := 0; j < m.table.Len(); j++ {
+		if j != i {
+			opponents = append(opponents, m.table.Get(j))
+		}
+	}
+	m.games += int64(len(opponents))
+	return m.ssets[i].Fitness(m.engine, opponents, sset.FitnessOptions{
+		Workers: m.cfg.Workers,
+		Source:  m.src.Split(),
+	})
+}
+
+// fitnessCached computes the same sum but plays each distinct strategy pair
+// only once, reusing the result across SSets that hold identical strategies.
+func (m *Model) fitnessCached(i int, cache map[[2]string]float64) (float64, error) {
+	my := m.table.Get(i)
+	myKey := my.String()
+	total := 0.0
+	for j := 0; j < m.table.Len(); j++ {
+		if j == i {
+			continue
+		}
+		opp := m.table.Get(j)
+		key := [2]string{myKey, opp.String()}
+		payoff, ok := cache[key]
+		if !ok {
+			var src *rng.Source
+			if m.engine.Noise() > 0 || !my.Deterministic() || !opp.Deterministic() {
+				src = m.src.Split()
+			}
+			res, err := m.engine.Play(my, opp, src)
+			if err != nil {
+				return 0, err
+			}
+			m.games++
+			payoff = res.FitnessA
+			cache[key] = payoff
+			// The reverse pairing gives the opponent's payoff; cache it too
+			// since the partner SSet is usually evaluated next.
+			cache[[2]string{opp.String(), myKey}] = res.FitnessB
+		}
+		total += payoff
+	}
+	return total, nil
+}
+
+// Step advances the simulation by one generation: a possible
+// pairwise-comparison learning event followed by a possible mutation, with
+// strategy-table updates applied immediately, as in the paper's Nature Agent
+// loop.
+func (m *Model) Step() error {
+	// Pairwise comparison learning.
+	if teacher, learner, ok := m.nat.MaybeSelectPC(m.cfg.NumSSets); ok {
+		fitT, fitL, err := m.fitnessPair(teacher, learner)
+		if err != nil {
+			return fmt.Errorf("population: generation %d: %w", m.gen, err)
+		}
+		adopted, _ := m.nat.DecideAdoption(fitT, fitL)
+		m.nat.RecordPC(adopted)
+		if adopted {
+			newStrat := m.table.Get(teacher).Clone()
+			if err := m.table.Set(learner, newStrat); err != nil {
+				return err
+			}
+			if err := m.ssets[learner].SetStrategy(newStrat); err != nil {
+				return err
+			}
+		}
+	}
+	// Mutation.
+	if target, newStrat, ok := m.nat.MaybeMutation(m.cfg.NumSSets); ok {
+		if err := m.table.Set(target, newStrat); err != nil {
+			return err
+		}
+		if err := m.ssets[target].SetStrategy(newStrat); err != nil {
+			return err
+		}
+	}
+	m.nat.EndGeneration()
+	m.gen++
+	return nil
+}
+
+// Sample computes an abundance sample for the current generation.
+func (m *Model) Sample() AbundanceSample {
+	counts := m.table.Counts()
+	top, topFrac := m.tableMostAbundant(counts)
+	s := AbundanceSample{
+		Generation:   m.gen,
+		Distinct:     len(counts),
+		TopStrategy:  top,
+		TopFraction:  topFrac,
+		WSLSFraction: m.FractionOf(strategy.WSLS(m.cfg.MemorySteps)),
+		TFTFraction:  m.FractionOf(strategy.TFT(m.cfg.MemorySteps)),
+		AllDFraction: m.FractionOf(strategy.AllD(m.cfg.MemorySteps)),
+	}
+	totalStates := 0
+	defecting := 0
+	for i := 0; i < m.table.Len(); i++ {
+		if p, ok := m.table.Get(i).(*strategy.Pure); ok {
+			totalStates += p.NumStates()
+			defecting += p.DefectionCount()
+		}
+	}
+	if totalStates > 0 {
+		s.MeanDefectingStates = float64(defecting) / float64(totalStates)
+	}
+	return s
+}
+
+func (m *Model) tableMostAbundant(counts map[string]int) (string, float64) {
+	best, bestCount := "", -1
+	for k, c := range counts {
+		if c > bestCount || (c == bestCount && k < best) {
+			best, bestCount = k, c
+		}
+	}
+	return best, float64(bestCount) / float64(m.table.Len())
+}
+
+// Run advances the simulation by generations generations (or until ctx is
+// cancelled) and returns the result.  Run may be called repeatedly; each
+// call continues from the current state.
+func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
+	if generations < 0 {
+		return Result{}, fmt.Errorf("population: negative generation count %d", generations)
+	}
+	var samples []AbundanceSample
+	for g := 0; g < generations; g++ {
+		select {
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		default:
+		}
+		if err := m.Step(); err != nil {
+			return Result{}, err
+		}
+		if m.cfg.SampleEvery > 0 && m.gen%m.cfg.SampleEvery == 0 {
+			samples = append(samples, m.Sample())
+		}
+	}
+	if len(samples) == 0 || samples[len(samples)-1].Generation != m.gen {
+		samples = append(samples, m.Sample())
+	}
+	return Result{
+		Generations:      m.gen,
+		FinalStrategies:  m.Strategies(),
+		Samples:          samples,
+		NatureStats:      m.nat.Stats(),
+		TotalGamesPlayed: m.games,
+	}, nil
+}
+
+// NatureStats exposes the Nature Agent's event counters for callers that
+// drive the model step by step.
+func (m *Model) NatureStats() nature.Stats { return m.nat.Stats() }

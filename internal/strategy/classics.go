@@ -1,0 +1,169 @@
+package strategy
+
+import (
+	"fmt"
+
+	"evogame/internal/game"
+)
+
+// This file defines the classic strategies of the repeated Prisoner's
+// Dilemma literature, generalised to arbitrary memory depth.  The
+// generalisations condition only on the rounds a memory-n player can see;
+// for memory-one they reduce to the textbook definitions used in the paper
+// (Tables III and V).
+
+// mostRecentRound extracts the 2-bit code of the most recent round from a
+// packed state.
+func mostRecentRound(state int) (my, opp game.Move) {
+	return game.Move((state >> 1) & 1), game.Move(state & 1)
+}
+
+// AllC returns the strategy that cooperates in every state.
+func AllC(memSteps int) *Pure {
+	return NewPure(memSteps)
+}
+
+// AllD returns the strategy that defects in every state.
+func AllD(memSteps int) *Pure {
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		p.SetMove(s, game.Defect)
+	}
+	return p
+}
+
+// TFT returns Tit-For-Tat generalised to memory-n: copy the opponent's move
+// from the most recent round.  The initial all-cooperate history makes the
+// first move cooperative, as in the paper.
+func TFT(memSteps int) *Pure {
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		_, opp := mostRecentRound(s)
+		p.SetMove(s, opp)
+	}
+	return p
+}
+
+// WSLS returns Win-Stay Lose-Shift generalised to memory-n: repeat your own
+// previous move after a "win" (the opponent cooperated, so you received R or
+// T) and switch after a "loss" (the opponent defected, so you received S or
+// P).  For memory-one this is the [C,D,D,C] strategy of the paper's
+// Table V and the Nowak–Sigmund 1993 study reproduced in Figure 2.
+func WSLS(memSteps int) *Pure {
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		my, opp := mostRecentRound(s)
+		if opp == game.Cooperate {
+			p.SetMove(s, my)
+		} else {
+			p.SetMove(s, my.Flip())
+		}
+	}
+	return p
+}
+
+// GRIM returns the Grim Trigger strategy generalised to memory-n: defect if
+// the opponent defected in any round the player can remember, otherwise
+// cooperate.  (A true Grim Trigger never forgives; with a finite memory
+// window it forgives once the defection scrolls out of view, which is the
+// standard finite-memory approximation.)
+func GRIM(memSteps int) *Pure {
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		defected := false
+		for r := 0; r < memSteps; r++ {
+			if (s>>(2*uint(r)))&1 == 1 {
+				defected = true
+				break
+			}
+		}
+		if defected {
+			p.SetMove(s, game.Defect)
+		}
+	}
+	return p
+}
+
+// TF2T returns Tit-For-Two-Tats: defect only if the opponent defected in
+// both of the two most recent rounds.  It requires memory of at least two
+// rounds and returns an error otherwise.
+func TF2T(memSteps int) (*Pure, error) {
+	if memSteps < 2 {
+		return nil, fmt.Errorf("strategy: TF2T requires memory >= 2, got %d", memSteps)
+	}
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		oppLast := s & 1
+		oppPrev := (s >> 2) & 1
+		if oppLast == 1 && oppPrev == 1 {
+			p.SetMove(s, game.Defect)
+		}
+	}
+	return p, nil
+}
+
+// Alternator returns the strategy that plays the opposite of its own
+// previous move, producing a C,D,C,D,… sequence against any opponent; it is
+// useful as a pathological test strategy.
+func Alternator(memSteps int) *Pure {
+	p := NewPure(memSteps)
+	for s := 0; s < p.NumStates(); s++ {
+		my, _ := mostRecentRound(s)
+		p.SetMove(s, my.Flip())
+	}
+	return p
+}
+
+// GTFT returns Generous Tit-For-Tat as a mixed strategy: cooperate after the
+// opponent cooperates, and after a defection cooperate with the forgiveness
+// probability g (0 gives plain TFT, 1 gives ALLC).
+func GTFT(memSteps int, generosity float64) (*Mixed, error) {
+	if generosity < 0 || generosity > 1 {
+		return nil, fmt.Errorf("strategy: generosity %v outside [0,1]", generosity)
+	}
+	game.CheckMemorySteps(memSteps)
+	n := game.NumStates(memSteps)
+	probs := make([]float64, n)
+	for s := 0; s < n; s++ {
+		_, opp := mostRecentRound(s)
+		if opp == game.Cooperate {
+			probs[s] = 1
+		} else {
+			probs[s] = generosity
+		}
+	}
+	return &Mixed{mem: memSteps, probs: probs}, nil
+}
+
+// Named is a catalogue entry mapping a strategy name to its constructor;
+// used by the CLI and the benchmarks.
+type Named struct {
+	Name        string
+	Description string
+	Build       func(memSteps int) (Strategy, error)
+}
+
+// Catalogue returns the built-in named strategies.
+func Catalogue() []Named {
+	return []Named{
+		{"allc", "always cooperate", func(m int) (Strategy, error) { return AllC(m), nil }},
+		{"alld", "always defect", func(m int) (Strategy, error) { return AllD(m), nil }},
+		{"tft", "tit-for-tat", func(m int) (Strategy, error) { return TFT(m), nil }},
+		{"wsls", "win-stay lose-shift", func(m int) (Strategy, error) { return WSLS(m), nil }},
+		{"grim", "grim trigger (within the memory window)", func(m int) (Strategy, error) { return GRIM(m), nil }},
+		{"tf2t", "tit-for-two-tats", func(m int) (Strategy, error) { return TF2T(m) }},
+		{"alternator", "alternate own previous move", func(m int) (Strategy, error) { return Alternator(m), nil }},
+		{"gtft", "generous tit-for-tat (g=0.3)", func(m int) (Strategy, error) { return GTFT(m, 0.3) }},
+	}
+}
+
+// ByName looks up a catalogue strategy by name and builds it for the given
+// memory depth.
+func ByName(name string, memSteps int) (Strategy, error) {
+	for _, n := range Catalogue() {
+		if n.Name == name {
+			return n.Build(memSteps)
+		}
+	}
+	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+}

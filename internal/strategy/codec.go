@@ -1,0 +1,117 @@
+package strategy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The codec packs strategies into self-describing byte slices so that the
+// Nature Agent can broadcast strategy-table updates over the message-passing
+// substrate and so that checkpoints can persist a population.  The format is
+// deliberately simple and versioned:
+//
+//	byte 0      format version (currently 1)
+//	byte 1      kind (1 = pure, 2 = mixed)
+//	byte 2      memory steps
+//	bytes 3..   payload
+//
+// Pure payload:  ceil(numStates/64) little-endian uint64 words.
+// Mixed payload: numStates little-endian float64 values.
+
+const (
+	codecVersion = 1
+	kindPure     = 1
+	kindMixed    = 2
+)
+
+// ErrCorrupt is returned by Decode when the byte slice is not a valid
+// strategy encoding.
+var ErrCorrupt = errors.New("strategy: corrupt encoding")
+
+// Encode serialises a strategy.  It returns an error for strategy
+// implementations outside this package.
+func Encode(s Strategy) ([]byte, error) {
+	switch v := s.(type) {
+	case *Pure:
+		words := v.Words()
+		buf := make([]byte, 3+8*len(words))
+		buf[0] = codecVersion
+		buf[1] = kindPure
+		buf[2] = byte(v.MemorySteps())
+		for i, w := range words {
+			binary.LittleEndian.PutUint64(buf[3+8*i:], w)
+		}
+		return buf, nil
+	case *Mixed:
+		buf := make([]byte, 3+8*len(v.probs))
+		buf[0] = codecVersion
+		buf[1] = kindMixed
+		buf[2] = byte(v.MemorySteps())
+		for i, p := range v.probs {
+			binary.LittleEndian.PutUint64(buf[3+8*i:], math.Float64bits(p))
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("strategy: cannot encode %T", s)
+	}
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) (Strategy, error) {
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("%w: too short (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if buf[0] != codecVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorrupt, buf[0])
+	}
+	mem := int(buf[2])
+	if mem < 1 || mem > 6 {
+		return nil, fmt.Errorf("%w: memory steps %d out of range", ErrCorrupt, mem)
+	}
+	payload := buf[3:]
+	switch buf[1] {
+	case kindPure:
+		p := NewPure(mem)
+		want := len(p.bits) * 8
+		if len(payload) != want {
+			return nil, fmt.Errorf("%w: pure payload %d bytes, want %d", ErrCorrupt, len(payload), want)
+		}
+		for i := range p.bits {
+			p.bits[i] = binary.LittleEndian.Uint64(payload[8*i:])
+		}
+		// Canonicalise: reject encodings that set bits beyond the state count,
+		// which would make Equal unreliable.
+		tail := p.bits[len(p.bits)-1]
+		p.maskTail()
+		if tail != p.bits[len(p.bits)-1] {
+			return nil, fmt.Errorf("%w: pure payload sets bits beyond the state count", ErrCorrupt)
+		}
+		return p, nil
+	case kindMixed:
+		m := NewMixed(mem)
+		want := len(m.probs) * 8
+		if len(payload) != want {
+			return nil, fmt.Errorf("%w: mixed payload %d bytes, want %d", ErrCorrupt, len(payload), want)
+		}
+		for i := range m.probs {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return nil, fmt.Errorf("%w: probability %v at state %d outside [0,1]", ErrCorrupt, v, i)
+			}
+			m.probs[i] = v
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, buf[1])
+	}
+}
+
+// EncodedSize returns the number of bytes Encode produces for a pure
+// strategy of the given memory depth; the message-passing layer uses it to
+// size broadcast buffers without materialising a strategy first.
+func EncodedSize(memSteps int) int {
+	p := NewPure(memSteps)
+	return 3 + 8*len(p.bits)
+}

@@ -1,0 +1,402 @@
+// Package strategy defines the strategy types used by the evolutionary game
+// dynamics framework: pure memory-n strategies backed by packed bit vectors
+// and mixed (probabilistic) strategies, together with the classic named
+// strategies of the literature (ALLC, ALLD, TFT, WSLS, …) generalised to
+// arbitrary memory depth, uniform random strategy generation for the
+// mutation operator, a compact binary codec used by the message-passing
+// layer and checkpoints, and the strategy-space accounting of Table IV.
+//
+// A strategy is a function from game states to moves (pure) or to a
+// cooperation probability (mixed).  States are encoded as in the game
+// package: the most recent round occupies the two low bits, with the
+// player's own move in the high bit of each round pair.
+package strategy
+
+import (
+	"fmt"
+	"math/big"
+
+	"evogame/internal/game"
+	"evogame/internal/rng"
+)
+
+// Strategy is the framework-wide strategy abstraction.  It extends
+// game.Player with the operations the population dynamics need: cloning
+// (learning copies a teacher's strategy), equality (abundance statistics and
+// fixation detection), and a stable rendering used in reports.
+type Strategy interface {
+	game.Player
+	// Clone returns a deep copy that can be mutated independently.
+	Clone() Strategy
+	// Equal reports whether the receiver and other define the same mapping
+	// from states to (distributions over) moves.
+	Equal(other Strategy) bool
+	// String returns a compact human-readable rendering.
+	String() string
+}
+
+// Pure is a deterministic memory-n strategy: one fixed move per state.
+// Internally the move table is a packed bit vector where a set bit means
+// Defect, matching the paper's 0=cooperate / 1=defect convention.
+type Pure struct {
+	mem  int
+	bits []uint64 // packed moves, bit i = move in state i (1 = Defect)
+	n    int      // number of states
+}
+
+// NewPure returns the all-cooperate pure strategy of the given memory depth.
+func NewPure(memSteps int) *Pure {
+	game.CheckMemorySteps(memSteps)
+	n := game.NumStates(memSteps)
+	return &Pure{mem: memSteps, n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// RandomPure returns a uniformly random pure strategy of the given memory
+// depth: each state's move is an independent fair coin.  This is the
+// mutation operator's new-strategy generator (gen_new_strat in the paper).
+func RandomPure(memSteps int, src *rng.Source) *Pure {
+	p := NewPure(memSteps)
+	src.FillUint64(p.bits)
+	p.maskTail()
+	return p
+}
+
+// PureFromMoves builds a pure strategy from an explicit move table indexed
+// by state.  It returns an error if the table length does not match the
+// number of states for the memory depth.
+func PureFromMoves(memSteps int, moves []game.Move) (*Pure, error) {
+	p := NewPure(memSteps)
+	if len(moves) != p.n {
+		return nil, fmt.Errorf("strategy: %d moves supplied, memory-%d needs %d", len(moves), memSteps, p.n)
+	}
+	for s, m := range moves {
+		p.SetMove(s, m)
+	}
+	return p, nil
+}
+
+// ParsePure builds a pure strategy from a string of '0' (cooperate) and '1'
+// (defect) characters, one per state, state 0 first — the format used in the
+// paper's strategy tables.
+func ParsePure(memSteps int, s string) (*Pure, error) {
+	p := NewPure(memSteps)
+	if len(s) != p.n {
+		return nil, fmt.Errorf("strategy: string has %d characters, memory-%d needs %d", len(s), memSteps, p.n)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			p.SetMove(i, game.Defect)
+		default:
+			return nil, fmt.Errorf("strategy: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return p, nil
+}
+
+func (p *Pure) maskTail() {
+	rem := p.n % 64
+	if rem != 0 {
+		p.bits[len(p.bits)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// MemorySteps implements game.Player.
+func (p *Pure) MemorySteps() int { return p.mem }
+
+// NumStates returns the number of states in the strategy's domain.
+func (p *Pure) NumStates() int { return p.n }
+
+// Deterministic implements game.Player; pure strategies never need
+// randomness.
+func (p *Pure) Deterministic() bool { return true }
+
+// Move implements game.Player.
+func (p *Pure) Move(state int, _ *rng.Source) game.Move {
+	if p.bits[state>>6]&(1<<(uint(state)&63)) != 0 {
+		return game.Defect
+	}
+	return game.Cooperate
+}
+
+// SetMove sets the move played in the given state.
+func (p *Pure) SetMove(state int, m game.Move) {
+	if state < 0 || state >= p.n {
+		panic(fmt.Sprintf("strategy: state %d out of range [0,%d)", state, p.n))
+	}
+	if m == game.Defect {
+		p.bits[state>>6] |= 1 << (uint(state) & 63)
+	} else {
+		p.bits[state>>6] &^= 1 << (uint(state) & 63)
+	}
+}
+
+// FlipMove inverts the move played in the given state; used by
+// point-mutation operators and tests.
+func (p *Pure) FlipMove(state int) {
+	if state < 0 || state >= p.n {
+		panic(fmt.Sprintf("strategy: state %d out of range [0,%d)", state, p.n))
+	}
+	p.bits[state>>6] ^= 1 << (uint(state) & 63)
+}
+
+// Clone implements Strategy.
+func (p *Pure) Clone() Strategy {
+	c := NewPure(p.mem)
+	copy(c.bits, p.bits)
+	return c
+}
+
+// Equal implements Strategy.  A Pure strategy is never equal to a Mixed one,
+// even if the Mixed strategy happens to be degenerate.
+func (p *Pure) Equal(other Strategy) bool {
+	q, ok := other.(*Pure)
+	if !ok || q.mem != p.mem {
+		return false
+	}
+	for i := range p.bits {
+		if p.bits[i] != q.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefectionCount returns the number of states in which the strategy defects.
+func (p *Pure) DefectionCount() int {
+	count := 0
+	for s := 0; s < p.n; s++ {
+		if p.Move(s, nil) == game.Defect {
+			count++
+		}
+	}
+	return count
+}
+
+// Hamming returns the number of states in which p and q prescribe different
+// moves.  It returns an error if the memory depths differ.
+func (p *Pure) Hamming(q *Pure) (int, error) {
+	if p.mem != q.mem {
+		return 0, fmt.Errorf("strategy: memory mismatch %d vs %d", p.mem, q.mem)
+	}
+	d := 0
+	for i := range p.bits {
+		d += popcount(p.bits[i] ^ q.bits[i])
+	}
+	return d, nil
+}
+
+func popcount(x uint64) int {
+	// math/bits is not imported elsewhere in this file; keep the dependency
+	// local to the one call site via a tiny loop-free implementation.
+	x = x - ((x >> 1) & 0x5555555555555555)
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// String renders the full move table as '0'/'1' characters, state 0 first.
+// For memory-one this matches the rows of the paper's Table III.
+func (p *Pure) String() string {
+	buf := make([]byte, p.n)
+	for s := 0; s < p.n; s++ {
+		if p.Move(s, nil) == game.Defect {
+			buf[s] = '1'
+		} else {
+			buf[s] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Words returns the packed move table; used by the codec and the k-means
+// feature extraction.  The returned slice must not be modified.
+func (p *Pure) Words() []uint64 { return p.bits }
+
+// Bit reports whether the strategy defects in the given state, as a raw bit.
+func (p *Pure) Bit(state int) bool { return p.Move(state, nil) == game.Defect }
+
+// Mixed is a probabilistic memory-n strategy: for every state it cooperates
+// with probability Probs[state] and defects otherwise (Section III-D).
+type Mixed struct {
+	mem   int
+	probs []float64
+}
+
+// NewMixed returns a mixed strategy with cooperation probability 0.5 in
+// every state.
+func NewMixed(memSteps int) *Mixed {
+	game.CheckMemorySteps(memSteps)
+	n := game.NumStates(memSteps)
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	return &Mixed{mem: memSteps, probs: probs}
+}
+
+// MixedFromProbs builds a mixed strategy from explicit per-state cooperation
+// probabilities.  Probabilities must lie in [0,1].
+func MixedFromProbs(memSteps int, probs []float64) (*Mixed, error) {
+	game.CheckMemorySteps(memSteps)
+	n := game.NumStates(memSteps)
+	if len(probs) != n {
+		return nil, fmt.Errorf("strategy: %d probabilities supplied, memory-%d needs %d", len(probs), memSteps, n)
+	}
+	cp := make([]float64, n)
+	for i, p := range probs {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("strategy: probability %v at state %d outside [0,1]", p, i)
+		}
+		cp[i] = p
+	}
+	return &Mixed{mem: memSteps, probs: cp}, nil
+}
+
+// RandomMixed returns a mixed strategy whose per-state cooperation
+// probabilities are independent uniform draws from [0,1).
+func RandomMixed(memSteps int, src *rng.Source) *Mixed {
+	game.CheckMemorySteps(memSteps)
+	n := game.NumStates(memSteps)
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = src.Float64()
+	}
+	return &Mixed{mem: memSteps, probs: probs}
+}
+
+// Soften returns the mixed strategy obtained from a pure strategy by playing
+// the prescribed move with probability 1-epsilon and the opposite move with
+// probability epsilon ("trembling hand" version of the pure strategy).
+func Soften(p *Pure, epsilon float64) (*Mixed, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("strategy: epsilon %v outside [0,1]", epsilon)
+	}
+	probs := make([]float64, p.NumStates())
+	for s := range probs {
+		if p.Move(s, nil) == game.Cooperate {
+			probs[s] = 1 - epsilon
+		} else {
+			probs[s] = epsilon
+		}
+	}
+	return &Mixed{mem: p.MemorySteps(), probs: probs}, nil
+}
+
+// MemorySteps implements game.Player.
+func (m *Mixed) MemorySteps() int { return m.mem }
+
+// NumStates returns the number of states in the strategy's domain.
+func (m *Mixed) NumStates() int { return len(m.probs) }
+
+// Deterministic implements game.Player; mixed strategies require a random
+// source.
+func (m *Mixed) Deterministic() bool { return false }
+
+// Move implements game.Player.
+func (m *Mixed) Move(state int, src *rng.Source) game.Move {
+	if src.Bool(m.probs[state]) {
+		return game.Cooperate
+	}
+	return game.Defect
+}
+
+// Prob returns the cooperation probability in the given state.
+func (m *Mixed) Prob(state int) float64 { return m.probs[state] }
+
+// SetProb sets the cooperation probability in the given state; values are
+// clamped to [0,1].
+func (m *Mixed) SetProb(state int, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	m.probs[state] = p
+}
+
+// Clone implements Strategy.
+func (m *Mixed) Clone() Strategy {
+	cp := make([]float64, len(m.probs))
+	copy(cp, m.probs)
+	return &Mixed{mem: m.mem, probs: cp}
+}
+
+// Equal implements Strategy.
+func (m *Mixed) Equal(other Strategy) bool {
+	q, ok := other.(*Mixed)
+	if !ok || q.mem != m.mem {
+		return false
+	}
+	for i := range m.probs {
+		if m.probs[i] != q.probs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the first few probabilities; full tables are too large to
+// print for high memory depths.
+func (m *Mixed) String() string {
+	limit := len(m.probs)
+	if limit > 8 {
+		limit = 8
+	}
+	s := fmt.Sprintf("mixed(mem=%d)[", m.mem)
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", m.probs[i])
+	}
+	if limit < len(m.probs) {
+		s += " …"
+	}
+	return s + "]"
+}
+
+// NumPureStrategies returns the number of pure strategies for the given
+// memory depth, 2^(4^n) — the quantity tabulated in the paper's Table IV.
+// The result does not fit in any machine integer for n ≥ 3, so it is
+// returned as a big.Int.
+func NumPureStrategies(memSteps int) *big.Int {
+	game.CheckMemorySteps(memSteps)
+	exp := game.NumStates(memSteps)
+	return new(big.Int).Lsh(big.NewInt(1), uint(exp))
+}
+
+// NumPureStrategiesLog2 returns log2 of the pure strategy count, i.e. the
+// number of states 4^n; this is the exponent shown in Table IV (2^4096 for
+// memory six).
+func NumPureStrategiesLog2(memSteps int) int {
+	return game.NumStates(memSteps)
+}
+
+// AllMemoryOne enumerates all 16 pure memory-one strategies (the set shown
+// in the paper's Table III): every possible move table over the four
+// memory-one states.
+func AllMemoryOne() []*Pure {
+	out := make([]*Pure, 16)
+	for code := 0; code < 16; code++ {
+		p := NewPure(1)
+		for s := 0; s < 4; s++ {
+			if code&(1<<uint(s)) != 0 {
+				p.SetMove(s, game.Defect)
+			}
+		}
+		out[code] = p
+	}
+	return out
+}
+
+// StrategyBytes returns the per-strategy memory footprint in bytes of the
+// packed pure-strategy representation for the given memory depth; used by
+// the cluster memory-capacity model (the paper's argument that memory-six is
+// the largest depth that fits on a node).
+func StrategyBytes(memSteps int) int {
+	game.CheckMemorySteps(memSteps)
+	return ((game.NumStates(memSteps) + 63) / 64) * 8
+}

@@ -1,0 +1,217 @@
+package evogame
+
+import (
+	"fmt"
+
+	"evogame/internal/cluster"
+	"evogame/internal/perfmodel"
+	"evogame/internal/strategy"
+)
+
+// MachineName identifies a modelled target machine for scaling predictions.
+type MachineName string
+
+// The machines the paper's experiments ran on.
+const (
+	MachineBlueGeneP MachineName = "bluegene/p"
+	MachineBlueGeneQ MachineName = "bluegene/q"
+)
+
+func machineByName(name MachineName) (cluster.Machine, error) {
+	switch name {
+	case MachineBlueGeneP, "":
+		return cluster.BlueGeneP(), nil
+	case MachineBlueGeneQ:
+		return cluster.BlueGeneQ(), nil
+	default:
+		return cluster.Machine{}, fmt.Errorf("evogame: unknown machine %q (use %q or %q)",
+			name, MachineBlueGeneP, MachineBlueGeneQ)
+	}
+}
+
+// ScalingOptions configures the analytic scaling predictions.
+type ScalingOptions struct {
+	// Machine selects the modelled system; the default is Blue Gene/P.
+	Machine MachineName
+	// CalibrateKernel, when true, measures the real per-round game cost on
+	// the host before predicting; otherwise representative defaults are
+	// used, which keeps predictions deterministic.
+	CalibrateKernel bool
+	// CalibrationGames is the number of games timed per memory depth when
+	// CalibrateKernel is set (default 50).
+	CalibrationGames int
+}
+
+func (o ScalingOptions) model() (*perfmodel.Model, error) {
+	machine, err := machineByName(o.Machine)
+	if err != nil {
+		return nil, err
+	}
+	cal := perfmodel.DefaultCalibration()
+	if o.CalibrateKernel {
+		games := o.CalibrationGames
+		if games <= 0 {
+			games = 50
+		}
+		cal, err = perfmodel.Calibrate(games)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perfmodel.NewModel(machine, cal), nil
+}
+
+// ScalingPoint is one point of a predicted scaling curve.
+type ScalingPoint struct {
+	Processors           int
+	SecondsPerGeneration float64
+	ComputeSeconds       float64
+	CommSeconds          float64
+	Speedup              float64
+	EfficiencyPercent    float64
+}
+
+func convertPoints(in []perfmodel.ScalingPoint) []ScalingPoint {
+	out := make([]ScalingPoint, len(in))
+	for i, p := range in {
+		out[i] = ScalingPoint{
+			Processors:           p.Processors,
+			SecondsPerGeneration: p.SecondsPerGeneration,
+			ComputeSeconds:       p.ComputeSeconds,
+			CommSeconds:          p.CommSeconds,
+			Speedup:              p.Speedup,
+			EfficiencyPercent:    p.Efficiency,
+		}
+	}
+	return out
+}
+
+// PredictStrongScaling predicts the strong-scaling curve (Figure 6b /
+// Figure 4 of the paper) for a fixed population of totalSSets memory-n
+// strategies over the given processor counts; the first count is the
+// baseline.
+func PredictStrongScaling(opts ScalingOptions, totalSSets, memSteps int, processors []int) ([]ScalingPoint, error) {
+	m, err := opts.model()
+	if err != nil {
+		return nil, err
+	}
+	points, err := m.StrongScaling(totalSSets, memSteps, processors)
+	if err != nil {
+		return nil, err
+	}
+	return convertPoints(points), nil
+}
+
+// PredictWeakScaling predicts the weak-scaling curve (Figure 6a): every
+// processor hosts ssetsPerProc SSets, each playing opponentsPerSSet games
+// per generation.
+func PredictWeakScaling(opts ScalingOptions, ssetsPerProc, opponentsPerSSet, memSteps int, processors []int) ([]ScalingPoint, error) {
+	m, err := opts.model()
+	if err != nil {
+		return nil, err
+	}
+	points, err := m.WeakScaling(ssetsPerProc, opponentsPerSSet, memSteps, processors)
+	if err != nil {
+		return nil, err
+	}
+	return convertPoints(points), nil
+}
+
+// RatioPoint is one row of the SSets-per-processor efficiency table
+// (Table VI).
+type RatioPoint struct {
+	Ratio             float64
+	EfficiencyPercent float64
+}
+
+// RatioTable predicts parallel efficiency as a function of the
+// SSet-to-processor ratio (Table VI).
+func RatioTable(opts ScalingOptions, ratios []float64, opponentsPerSSet, memSteps, processors int) ([]RatioPoint, error) {
+	m, err := opts.model()
+	if err != nil {
+		return nil, err
+	}
+	points, err := m.RatioTable(ratios, opponentsPerSSet, memSteps, processors)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RatioPoint, len(points))
+	for i, p := range points {
+		out[i] = RatioPoint{Ratio: p.Ratio, EfficiencyPercent: p.Efficiency}
+	}
+	return out, nil
+}
+
+// MemorySweepPoint is one bar of the memory-step runtime breakdown
+// (Figure 5).
+type MemorySweepPoint struct {
+	MemorySteps    int
+	ComputeSeconds float64
+	CommSeconds    float64
+}
+
+// MemorySweep predicts the compute/communication breakdown of a fixed
+// workload (totalSSets SSets for the given number of generations on the
+// given processor count) for memory depths one through six.
+func MemorySweep(opts ScalingOptions, totalSSets, generations, processors int) ([]MemorySweepPoint, error) {
+	m, err := opts.model()
+	if err != nil {
+		return nil, err
+	}
+	points, err := m.MemorySweep(totalSSets, generations, processors)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MemorySweepPoint, len(points))
+	for i, p := range points {
+		out[i] = MemorySweepPoint{MemorySteps: p.MemorySteps, ComputeSeconds: p.ComputeSeconds, CommSeconds: p.CommSeconds}
+	}
+	return out, nil
+}
+
+// MemoryCapacity describes whether a population fits on the modelled
+// machine and how deep its strategies may be.
+type MemoryCapacity struct {
+	Machine          MachineName
+	MaxMemorySteps   int
+	MaxTotalSSets    int
+	FootprintBytes   int64
+	FitsAtMemorySix  bool
+	TasksPerNodeUsed int
+}
+
+// CheckMemoryCapacity reproduces the paper's memory-capacity argument: it
+// reports the largest memory depth and population that fit on the machine
+// when totalSSets Strategy Sets are divided across the given number of
+// processors.
+func CheckMemoryCapacity(name MachineName, totalSSets, processors int) (MemoryCapacity, error) {
+	machine, err := machineByName(name)
+	if err != nil {
+		return MemoryCapacity{}, err
+	}
+	if processors < 1 || totalSSets < 1 {
+		return MemoryCapacity{}, fmt.Errorf("evogame: processors and SSets must be positive")
+	}
+	tasksPerNode := machine.CoresPerNode
+	if name == MachineBlueGeneQ {
+		tasksPerNode = 32
+	}
+	local := (totalSSets + processors - 1) / processors
+	return MemoryCapacity{
+		Machine:          name,
+		MaxMemorySteps:   machine.MaxMemorySteps(local, totalSSets, tasksPerNode),
+		MaxTotalSSets:    machine.MaxTotalSSets(processors, MaxMemorySteps, tasksPerNode),
+		FootprintBytes:   cluster.MemoryFootprint(local, totalSSets, MaxMemorySteps),
+		FitsAtMemorySix:  machine.FitsInMemory(local, totalSSets, MaxMemorySteps, tasksPerNode),
+		TasksPerNodeUsed: tasksPerNode,
+	}, nil
+}
+
+// StrategyBytes returns the packed size in bytes of one pure strategy of the
+// given memory depth (512 bytes for memory-six).
+func StrategyBytes(memSteps int) (int, error) {
+	if memSteps < 1 || memSteps > MaxMemorySteps {
+		return 0, fmt.Errorf("evogame: memory steps %d out of range [1,%d]", memSteps, MaxMemorySteps)
+	}
+	return strategy.StrategyBytes(memSteps), nil
+}
