@@ -311,6 +311,77 @@ func BenchmarkFig6bStrongScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkEvalModes compares the shared incremental-fitness subsystem's
+// evaluation modes on the serial engine at S in {32, 128, 512} SSets: the
+// same noiseless workload is run under full replay, pair-cached and
+// incremental evaluation, reporting games per generation as a custom
+// metric.  All three modes produce identical dynamics for a given seed.
+func BenchmarkEvalModes(b *testing.B) {
+	for _, ssets := range []int{32, 128, 512} {
+		for _, mode := range []EvalMode{EvalFull, EvalCached, EvalIncremental} {
+			b.Run(fmt.Sprintf("%dSSets-%s", ssets, mode), func(b *testing.B) {
+				const gens = 50
+				var games int64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := Simulate(context.Background(), SimulationConfig{
+						NumSSets:      ssets,
+						AgentsPerSSet: 4,
+						MemorySteps:   1,
+						Rounds:        DefaultRounds,
+						PCRate:        1,
+						MutationRate:  0.05,
+						Beta:          1,
+						Generations:   gens,
+						Seed:          uint64(i + 1),
+						EvalMode:      mode,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					games += res.GamesPlayed
+				}
+				b.ReportMetric(float64(games)/float64(b.N)/gens, "games/gen")
+			})
+		}
+	}
+}
+
+// BenchmarkEvalModesParallel runs the distributed engine's per-generation
+// all-pairs workload under each evaluation mode at S in {32, 128, 512}
+// SSets; this is where the incremental matrix collapses the O(S^2) games
+// per generation the paper's implementation replays.
+func BenchmarkEvalModesParallel(b *testing.B) {
+	for _, ssets := range []int{32, 128, 512} {
+		for _, mode := range []EvalMode{EvalFull, EvalCached, EvalIncremental} {
+			b.Run(fmt.Sprintf("%dSSets-%s", ssets, mode), func(b *testing.B) {
+				const gens = 3
+				var games int64
+				for i := 0; i < b.N; i++ {
+					res, err := SimulateParallel(ParallelConfig{
+						Ranks:             5,
+						NumSSets:          ssets,
+						AgentsPerSSet:     4,
+						MemorySteps:       1,
+						Rounds:            DefaultRounds,
+						PCRate:            0.1,
+						MutationRate:      0.05,
+						Generations:       gens,
+						Seed:              uint64(i + 1),
+						OptimizationLevel: 3,
+						EvalMode:          mode,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					games += res.TotalGames
+				}
+				b.ReportMetric(float64(games)/float64(b.N)/gens, "games/gen")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationSSetVsBaseline compares one generation of the SSet-based
 // engine against the traditional one-agent-per-strategy baseline on the same
 // population (the decomposition the paper argues for in Section IV-A).

@@ -82,6 +82,7 @@ func run(opts options) error {
 		{"table capacity", tableCapacity},
 		{"fig 2", func() error { return figure2(opts) }},
 		{"fig 3", func() error { return figure3(opts) }},
+		{"table eval", func() error { return evalModes(opts) }},
 		{"fig 4", func() error { return figure4(opts, scaling) }},
 		{"fig 5", func() error { return figure5(opts, scaling) }},
 		{"fig 6a", func() error { return figure6a(opts, scaling) }},
@@ -304,6 +305,58 @@ func figure3(opts options) error {
 	}
 	fmt.Print(t.String())
 	fmt.Println("paper: each cumulative optimization reduces wallclock; comm stays a small share")
+	return nil
+}
+
+// evalModes reports the shared incremental-fitness subsystem's speedup
+// alongside the Figure 3 optimization levels: the same distributed workload
+// is repeated under full replay, pair-cached and incremental fitness
+// evaluation at S in {32, 128, 512} SSets.  All modes produce identical
+// dynamics for a given seed; only the number of games actually played (and
+// therefore the wallclock) changes.
+func evalModes(opts options) error {
+	header("Eval modes — incremental fitness vs. full replay (real distributed runs)")
+	gens := 10
+	if opts.full {
+		gens = 40
+	}
+	fmt.Printf("workload: memory-one, %d generations, 5 ranks, opt level 3, 200 rounds/game\n", gens)
+	t := stats.NewTable("SSets", "Eval mode", "Wallclock (s)", "Games/gen", "Speedup")
+	for _, ssets := range []int{32, 128, 512} {
+		var baseWall float64
+		for _, mode := range []evogame.EvalMode{evogame.EvalFull, evogame.EvalCached, evogame.EvalIncremental} {
+			res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+				Ranks:             5,
+				NumSSets:          ssets,
+				AgentsPerSSet:     4,
+				MemorySteps:       1,
+				Rounds:            evogame.DefaultRounds,
+				PCRate:            0.1,
+				MutationRate:      0.05,
+				Generations:       gens,
+				Seed:              opts.seed,
+				OptimizationLevel: 3,
+				EvalMode:          mode,
+			})
+			if err != nil {
+				return err
+			}
+			if mode == evogame.EvalFull {
+				baseWall = res.WallClockSeconds
+			}
+			speedup := "1.00x"
+			if res.WallClockSeconds > 0 && mode != evogame.EvalFull {
+				speedup = fmt.Sprintf("%.2fx", baseWall/res.WallClockSeconds)
+			}
+			t.AddRow(ssets, mode.String(),
+				fmt.Sprintf("%.3f", res.WallClockSeconds),
+				fmt.Sprintf("%.1f", float64(res.TotalGames)/float64(gens)),
+				speedup)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("note: noiseless deterministic games are pure functions of the strategy pair;")
+	fmt.Println("incremental evaluation replays only pairs never seen before")
 	return nil
 }
 

@@ -44,14 +44,21 @@ func main() {
 		sampleEvery = flag.Int("sample-every", 0, "record an abundance sample every N generations (0 = final only)")
 		ckptPath    = flag.String("checkpoint", "", "write the final population to this checkpoint file")
 		clusters    = flag.Int("clusters", 0, "cluster the final population into K groups (0 = skip)")
+		evalName    = flag.String("eval", "full", "fitness evaluation mode: full, cached or incremental (noiseless runs only; noisy runs fall back to full)")
 	)
 	flag.Parse()
 
+	evalMode, err := evogame.ParseEvalMode(*evalName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evogame:", err)
+		os.Exit(1)
+	}
 	if err := run(runOptions{
 		parallel: *useParallel, ranks: *ranks, workers: *workers, optLevel: *optLevel,
 		ssets: *ssets, agents: *agents, memory: *memory, rounds: *rounds, noise: *noise,
 		pcRate: *pcRate, muRate: *muRate, beta: *beta, generations: *generations,
 		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, clusters: *clusters,
+		evalMode: evalMode,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -69,6 +76,7 @@ type runOptions struct {
 	sampleEvery                 int
 	ckptPath                    string
 	clusters                    int
+	evalMode                    evogame.EvalMode
 }
 
 func run(o runOptions) error {
@@ -80,7 +88,7 @@ func run(o runOptions) error {
 			Ranks: o.ranks, WorkersPerRank: o.workers, OptimizationLevel: o.optLevel,
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
-			Beta: o.beta, Generations: o.generations, Seed: o.seed,
+			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
 		})
 		if err != nil {
 			return err
@@ -102,6 +110,7 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
+			EvalMode: o.evalMode,
 		})
 		if err != nil {
 			return err

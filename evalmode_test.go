@@ -1,0 +1,239 @@
+package evogame
+
+// Equivalence tests for the shared incremental-fitness subsystem: EvalFull,
+// EvalCached and EvalIncremental must produce identical results for
+// identical seeds in both engines, including when noise forces the cached
+// modes onto the full-evaluation bypass path.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+var allEvalModes = []EvalMode{EvalFull, EvalCached, EvalIncremental}
+
+func TestEvalModeStrings(t *testing.T) {
+	names := map[EvalMode]string{EvalFull: "full", EvalCached: "cached", EvalIncremental: "incremental"}
+	for mode, want := range names {
+		if mode.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(mode), mode.String(), want)
+		}
+		parsed, err := ParseEvalMode(want)
+		if err != nil || parsed != mode {
+			t.Errorf("ParseEvalMode(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if _, err := ParseEvalMode("turbo"); err == nil {
+		t.Error("ParseEvalMode accepted an unknown mode")
+	}
+}
+
+func TestEvalModeRejected(t *testing.T) {
+	if _, err := Simulate(context.Background(), SimulationConfig{
+		NumSSets: 4, AgentsPerSSet: 1, MemorySteps: 1, Generations: 1, EvalMode: EvalMode(9),
+	}); err == nil {
+		t.Fatal("Simulate accepted an invalid eval mode")
+	}
+	if _, err := SimulateParallel(ParallelConfig{
+		Ranks: 3, NumSSets: 4, AgentsPerSSet: 1, MemorySteps: 1, Generations: 1, EvalMode: EvalMode(9),
+	}); err == nil {
+		t.Fatal("SimulateParallel accepted an invalid eval mode")
+	}
+}
+
+// TestEvalModeEquivalenceMatrix is the table-driven equivalence check: for
+// each scenario (noiseless memory-one, noiseless memory-two with fixed
+// initial strategies, and noisy — the cache-bypass path), every eval mode
+// must reproduce the EvalFull result bit for bit in both engines.
+func TestEvalModeEquivalenceMatrix(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  SimulationConfig
+	}{
+		{
+			name: "noiseless-memory-one",
+			cfg: SimulationConfig{
+				NumSSets: 14, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 50,
+				PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 80, Seed: 101,
+				SampleEvery: 20,
+			},
+		},
+		{
+			name: "noiseless-memory-two-seeded",
+			cfg: SimulationConfig{
+				NumSSets: 9, AgentsPerSSet: 3, MemorySteps: 2, Rounds: 40,
+				PCRate: 1, MutationRate: 0.2, Beta: 1, Generations: 60, Seed: 17,
+				InitialStrategies: func() []string {
+					grim, _ := NamedStrategy("grim", 2)
+					wsls, _ := NamedStrategy("wsls", 2)
+					alld, _ := NamedStrategy("alld", 2)
+					return []string{grim, wsls, alld, wsls, grim, wsls, alld, wsls, wsls}
+				}(),
+			},
+		},
+		{
+			name: "noisy-bypass",
+			cfg: SimulationConfig{
+				NumSSets: 12, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 30,
+				Noise: 0.05, PCRate: 1, MutationRate: 0.2, Beta: 1,
+				Generations: 60, Seed: 7,
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			// Serial engine: all modes against the EvalFull baseline.
+			serial := make(map[EvalMode]SimulationResult)
+			for _, mode := range allEvalModes {
+				cfg := sc.cfg
+				cfg.EvalMode = mode
+				res, err := Simulate(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("serial %v: %v", mode, err)
+				}
+				serial[mode] = res
+			}
+			want := serial[EvalFull]
+			for _, mode := range []EvalMode{EvalCached, EvalIncremental} {
+				got := serial[mode]
+				if fmt.Sprint(got.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+					t.Fatalf("serial %v: final strategies differ from EvalFull", mode)
+				}
+				if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
+					t.Fatalf("serial %v: event counts differ from EvalFull", mode)
+				}
+				if fmt.Sprint(got.Samples) != fmt.Sprint(want.Samples) {
+					t.Fatalf("serial %v: samples differ from EvalFull", mode)
+				}
+				if sc.cfg.Noise > 0 && got.GamesPlayed != want.GamesPlayed {
+					t.Fatalf("serial %v: bypass played %d games, EvalFull %d", mode, got.GamesPlayed, want.GamesPlayed)
+				}
+			}
+
+			// Distributed engine: all modes must match the serial EvalFull
+			// result (noiseless scenarios) and each other (all scenarios).
+			parallelBase := ParallelConfig{
+				Ranks: 4, OptimizationLevel: 3,
+				NumSSets: sc.cfg.NumSSets, AgentsPerSSet: sc.cfg.AgentsPerSSet,
+				MemorySteps: sc.cfg.MemorySteps, Rounds: sc.cfg.Rounds,
+				Noise: sc.cfg.Noise, PCRate: sc.cfg.PCRate,
+				MutationRate: sc.cfg.MutationRate, Beta: sc.cfg.Beta,
+				Generations: sc.cfg.Generations, Seed: sc.cfg.Seed,
+				InitialStrategies: sc.cfg.InitialStrategies,
+			}
+			par := make(map[EvalMode]ParallelResult)
+			for _, mode := range allEvalModes {
+				cfg := parallelBase
+				cfg.EvalMode = mode
+				res, err := SimulateParallel(cfg)
+				if err != nil {
+					t.Fatalf("parallel %v: %v", mode, err)
+				}
+				par[mode] = res
+			}
+			wantPar := par[EvalFull]
+			for _, mode := range []EvalMode{EvalCached, EvalIncremental} {
+				got := par[mode]
+				if fmt.Sprint(got.FinalStrategies) != fmt.Sprint(wantPar.FinalStrategies) {
+					t.Fatalf("parallel %v: final strategies differ from EvalFull", mode)
+				}
+				if got.PCEvents != wantPar.PCEvents || got.Adoptions != wantPar.Adoptions || got.Mutations != wantPar.Mutations {
+					t.Fatalf("parallel %v: event counts differ from EvalFull", mode)
+				}
+				if sc.cfg.Noise > 0 && got.TotalGames != wantPar.TotalGames {
+					t.Fatalf("parallel %v: bypass played %d games, EvalFull %d", mode, got.TotalGames, wantPar.TotalGames)
+				}
+			}
+
+			// Cross-engine: noiseless dynamics agree between serial and
+			// parallel for every mode.
+			if sc.cfg.Noise == 0 {
+				for _, mode := range allEvalModes {
+					if fmt.Sprint(par[mode].FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+						t.Fatalf("%v: serial and parallel engines diverge", mode)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalReducesGamesAtScale is the S=512 acceptance check: under
+// EvalIncremental the serial engine must play at least 5x fewer games per
+// generation than EvalFull on a noiseless 512-SSet workload, and the
+// distributed engine must show at least the same factor.
+func TestIncrementalReducesGamesAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-SSet workload skipped in -short mode")
+	}
+	base := SimulationConfig{
+		NumSSets:      512,
+		AgentsPerSSet: 1,
+		MemorySteps:   1,
+		Rounds:        20,
+		PCRate:        1,
+		MutationRate:  0.05,
+		Beta:          1,
+		Generations:   300,
+		Seed:          2013,
+	}
+	games := make(map[EvalMode]int64)
+	var baseline SimulationResult
+	for _, mode := range allEvalModes {
+		cfg := base
+		cfg.EvalMode = mode
+		res, err := Simulate(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		games[mode] = res.GamesPlayed
+		if mode == EvalFull {
+			baseline = res
+			continue
+		}
+		if fmt.Sprint(res.FinalStrategies) != fmt.Sprint(baseline.FinalStrategies) {
+			t.Fatalf("%v: dynamics differ from EvalFull at S=512", mode)
+		}
+	}
+	perGen := func(mode EvalMode) float64 { return float64(games[mode]) / float64(base.Generations) }
+	t.Logf("games/generation: full=%.1f cached=%.1f incremental=%.1f",
+		perGen(EvalFull), perGen(EvalCached), perGen(EvalIncremental))
+	if games[EvalIncremental] == 0 {
+		t.Fatal("incremental mode played no games")
+	}
+	if ratio := float64(games[EvalFull]) / float64(games[EvalIncremental]); ratio < 5 {
+		t.Fatalf("EvalIncremental reduced games by only %.2fx (full %d, incremental %d), want >= 5x",
+			ratio, games[EvalFull], games[EvalIncremental])
+	}
+
+	parBase := ParallelConfig{
+		Ranks: 5, OptimizationLevel: 3,
+		NumSSets: 512, AgentsPerSSet: 1, MemorySteps: 1, Rounds: 5,
+		PCRate: 1, MutationRate: 0.05, Beta: 1, Generations: 40, Seed: 2013,
+	}
+	parGames := make(map[EvalMode]int64)
+	var parBaseline ParallelResult
+	for _, mode := range allEvalModes {
+		cfg := parBase
+		cfg.EvalMode = mode
+		res, err := SimulateParallel(cfg)
+		if err != nil {
+			t.Fatalf("parallel %v: %v", mode, err)
+		}
+		parGames[mode] = res.TotalGames
+		if mode == EvalFull {
+			parBaseline = res
+			continue
+		}
+		if fmt.Sprint(res.FinalStrategies) != fmt.Sprint(parBaseline.FinalStrategies) {
+			t.Fatalf("parallel %v: dynamics differ from EvalFull at S=512", mode)
+		}
+	}
+	if ratio := float64(parGames[EvalFull]) / float64(parGames[EvalIncremental]); ratio < 5 {
+		t.Fatalf("parallel EvalIncremental reduced games by only %.2fx (full %d, incremental %d), want >= 5x",
+			ratio, parGames[EvalFull], parGames[EvalIncremental])
+	}
+}

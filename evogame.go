@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/kmeans"
 	"evogame/internal/parallel"
@@ -42,6 +43,49 @@ const DefaultRounds = game.DefaultRounds
 
 // MaxMemorySteps is the largest supported strategy memory depth.
 const MaxMemorySteps = game.MaxMemorySteps
+
+// EvalMode selects how the engines evaluate Strategy-Set fitness; it is the
+// knob over the shared incremental-fitness subsystem.
+//
+// Noiseless games between deterministic strategies are pure functions of
+// the strategy pair, so their results can be reused instead of replayed.
+// All three modes produce bit-identical results for identical seeds: when
+// the reuse conditions fail (Noise > 0 or mixed strategies), the cached
+// modes transparently fall back to the full evaluation path.
+type EvalMode int
+
+const (
+	// EvalFull replays every game of every evaluation, exactly as the
+	// paper's implementation does.  This is the default and the workload
+	// the scaling studies measure.
+	EvalFull EvalMode = iota
+	// EvalCached memoizes each distinct strategy pair's game result across
+	// generations, so every distinct pair is played at most once per run
+	// (per rank, in the distributed engine).
+	EvalCached
+	// EvalIncremental additionally maintains per-SSet fitness sums across
+	// generations, invalidating only the row/column of the SSet whose
+	// strategy changed; generations without strategy changes replay
+	// nothing.
+	EvalIncremental
+)
+
+// String implements fmt.Stringer.
+func (m EvalMode) String() string { return fitness.EvalMode(m).String() }
+
+// ParseEvalMode maps "full", "cached" or "incremental" to an EvalMode.
+func ParseEvalMode(s string) (EvalMode, error) {
+	m, err := fitness.ParseEvalMode(s)
+	return EvalMode(m), err
+}
+
+func (m EvalMode) toInternal() (fitness.EvalMode, error) {
+	im := fitness.EvalMode(m)
+	if !im.Valid() {
+		return fitness.EvalFull, fmt.Errorf("evogame: invalid eval mode %d", int(m))
+	}
+	return im, nil
+}
 
 // SimulationConfig configures the serial reference engine.
 type SimulationConfig struct {
@@ -74,6 +118,9 @@ type SimulationConfig struct {
 	// SampleEvery records an abundance sample every this many generations
 	// (0 disables periodic sampling; the final state is always sampled).
 	SampleEvery int
+	// EvalMode selects full, cached or incremental fitness evaluation; all
+	// modes produce identical results for identical seeds.
+	EvalMode EvalMode
 }
 
 // Sample is one abundance observation of the population.
@@ -116,6 +163,10 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 	if rounds == 0 {
 		rounds = game.DefaultRounds
 	}
+	evalMode, err := c.EvalMode.toInternal()
+	if err != nil {
+		return population.Config{}, err
+	}
 	cfg := population.Config{
 		NumSSets:      c.NumSSets,
 		AgentsPerSSet: c.AgentsPerSSet,
@@ -127,6 +178,7 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		Beta:          c.Beta,
 		Seed:          c.Seed,
 		SampleEvery:   c.SampleEvery,
+		EvalMode:      evalMode,
 	}
 	if len(c.InitialStrategies) > 0 {
 		strats, err := parseStrategies(c.MemorySteps, c.InitialStrategies)
@@ -221,6 +273,9 @@ type ParallelConfig struct {
 	InitialStrategies []string
 	// SkipFitnessWhenIdle evaluates fitness only on learning generations.
 	SkipFitnessWhenIdle bool
+	// EvalMode selects full, cached or incremental fitness evaluation; all
+	// modes produce identical results for identical seeds.
+	EvalMode EvalMode
 }
 
 // RankSummary reports one rank's work and communication.
@@ -260,9 +315,14 @@ func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
 	if rounds == 0 {
 		rounds = game.DefaultRounds
 	}
+	evalMode, err := cfg.EvalMode.toInternal()
+	if err != nil {
+		return ParallelResult{}, err
+	}
 	internal := parallel.Config{
 		Ranks:               cfg.Ranks,
 		WorkersPerRank:      cfg.WorkersPerRank,
+		EvalMode:            evalMode,
 		NumSSets:            cfg.NumSSets,
 		AgentsPerSSet:       cfg.AgentsPerSSet,
 		MemorySteps:         cfg.MemorySteps,

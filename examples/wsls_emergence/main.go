@@ -21,11 +21,19 @@ import (
 
 func main() {
 	long := flag.Bool("long", false, "run a longer population (slower, closer to the paper)")
+	ssetsFlag := flag.Int("ssets", 0, "override the number of Strategy Sets (0 = preset)")
+	gensFlag := flag.Int("generations", 0, "override the number of generations (0 = preset)")
 	flag.Parse()
 
 	ssets, generations := 128, 60000
 	if *long {
 		ssets, generations = 500, 400000
+	}
+	if *ssetsFlag > 0 {
+		ssets = *ssetsFlag
+	}
+	if *gensFlag > 0 {
+		generations = *gensFlag
 	}
 
 	cfg := evogame.SimulationConfig{

@@ -1,0 +1,3 @@
+module evogame
+
+go 1.21

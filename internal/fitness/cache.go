@@ -1,0 +1,191 @@
+package fitness
+
+import (
+	"fmt"
+	"sync"
+
+	"evogame/internal/game"
+	"evogame/internal/rng"
+	"evogame/internal/strategy"
+)
+
+// pairKey is the canonical encoding of an ordered (focal, opponent)
+// strategy pair.  Each side is the strategy codec's self-describing byte
+// encoding, so two strategies with identical move tables share one key
+// regardless of which Strategy value holds them.
+type pairKey struct {
+	focal, opp string
+}
+
+// maxCacheBytes bounds the approximate memory a PairCache retains for
+// memoized results.  Long runs with high mutation rates generate an
+// unbounded stream of distinct strategies; once the cache reaches the
+// budget it is reset and repopulated on demand, which at worst replays
+// pairs that are still live — results are pure functions of the pair, so
+// correctness is unaffected.
+const maxCacheBytes = 64 << 20
+
+// PairCache memoizes game results per distinct strategy pair.  It is safe
+// for concurrent use by the worker goroutines of one rank; results are pure
+// functions of the pair, so racing workers at worst replay a pair once each
+// and store the identical result (counted once, keeping the play counter
+// deterministic for a given seed).
+type PairCache struct {
+	eng        *game.Engine
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[pairKey]game.Result
+	plays   int64
+	hits    int64
+}
+
+// NewPairCache returns an empty cache bound to the given engine.
+func NewPairCache(eng *game.Engine) (*PairCache, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("fitness: nil engine")
+	}
+	// Size the entry budget from the per-entry footprint: two encoded
+	// strategies per key plus the stored result.
+	entryBytes := 2*strategy.EncodedSize(eng.MemorySteps()) + 64
+	maxEntries := maxCacheBytes / entryBytes
+	if maxEntries < 4096 {
+		maxEntries = 4096
+	}
+	return &PairCache{eng: eng, maxEntries: maxEntries, entries: make(map[pairKey]game.Result)}, nil
+}
+
+// CacheUsable reports whether the cache-validity conditions hold for a
+// whole run over the given strategy table: a noiseless engine and an
+// all-deterministic table.  Learning only copies strategies and the
+// mutation operator only generates pure ones, so a table that starts
+// deterministic stays deterministic; both engines use this single gate to
+// decide whether to route evaluation through the subsystem or fall back to
+// their full paths.
+func CacheUsable(eng *game.Engine, table []strategy.Strategy) bool {
+	if eng == nil || eng.Noise() > 0 {
+		return false
+	}
+	for _, s := range table {
+		if s == nil || !s.Deterministic() {
+			return false
+		}
+	}
+	return true
+}
+
+// Engine returns the engine the cache plays games with.
+func (c *PairCache) Engine() *game.Engine { return c.eng }
+
+// Cacheable reports whether a game between a and b is a pure function of
+// the pair and may therefore be memoized: the engine must be noiseless and
+// both strategies deterministic.
+func (c *PairCache) Cacheable(a, b strategy.Strategy) bool {
+	return c.eng.Noise() == 0 && a.Deterministic() && b.Deterministic()
+}
+
+// keyOf returns the canonical encoding of s, or ok=false for strategy
+// implementations the codec does not know.
+func keyOf(s strategy.Strategy) (string, bool) {
+	buf, err := strategy.Encode(s)
+	if err != nil {
+		return "", false
+	}
+	return string(buf), true
+}
+
+// swap returns the result seen from the opposite side of the board.
+func swap(r game.Result) game.Result {
+	return game.Result{
+		FitnessA:      r.FitnessB,
+		FitnessB:      r.FitnessA,
+		CooperationsA: r.CooperationsB,
+		CooperationsB: r.CooperationsA,
+		Rounds:        r.Rounds,
+	}
+}
+
+// Play returns the result of a game between focal strategy a and opponent
+// b.  Cacheable pairs (see Cacheable) are played at most once and served
+// from memory afterwards; non-cacheable pairs — the noise > 0 or mixed
+// strategy bypass — are played fresh every call with the supplied source,
+// exactly as the engine would without the cache.
+func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, error) {
+	if !c.Cacheable(a, b) {
+		res, err := c.eng.Play(a, b, src)
+		if err != nil {
+			return game.Result{}, err
+		}
+		c.mu.Lock()
+		c.plays++
+		c.mu.Unlock()
+		return res, nil
+	}
+	ka, okA := keyOf(a)
+	kb, okB := keyOf(b)
+	if !okA || !okB {
+		// Unknown strategy implementation: play without memoizing.
+		res, err := c.eng.Play(a, b, src)
+		if err != nil {
+			return game.Result{}, err
+		}
+		c.mu.Lock()
+		c.plays++
+		c.mu.Unlock()
+		return res, nil
+	}
+	key := pairKey{focal: ka, opp: kb}
+
+	c.mu.Lock()
+	if res, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.mu.Unlock()
+
+	// Deterministic, noiseless game: no source needed.  Played outside the
+	// lock so concurrent workers are not serialised on the kernel.
+	res, err := c.eng.Play(a, b, nil)
+	if err != nil {
+		return game.Result{}, err
+	}
+	c.mu.Lock()
+	// Count the play only when this call actually stores the entry: two
+	// workers racing on the same uncached pair replay the identical game,
+	// and counting it once keeps the reported game totals deterministic for
+	// a given seed regardless of scheduling.
+	if _, ok := c.entries[key]; !ok {
+		c.plays++
+		if len(c.entries) >= c.maxEntries {
+			c.entries = make(map[pairKey]game.Result)
+		}
+		c.entries[key] = res
+		c.entries[pairKey{focal: kb, opp: ka}] = swap(res)
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Plays returns the number of games actually executed by the engine through
+// this cache (cache misses plus bypassed games).  This is the quantity the
+// engines report as "games played".
+func (c *PairCache) Plays() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plays
+}
+
+// Hits returns the number of Play calls served from memory.
+func (c *PairCache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Len returns the number of memoized ordered pairs.
+func (c *PairCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

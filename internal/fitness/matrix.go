@@ -1,0 +1,141 @@
+package fitness
+
+import (
+	"fmt"
+
+	"evogame/internal/strategy"
+)
+
+// IncrementalMatrix maintains the per-SSet fitness of the all-pairs
+// evaluation across generations.  Row i holds the focal payoff of SSet i's
+// strategy against every other SSet's strategy; the row sum is the
+// "relative fitness" the Nature Agent compares during pairwise learning.
+//
+// Rows are built lazily through a PairCache on the first Fitness request
+// and kept current thereafter: when the strategy of SSet t changes, row t
+// is invalidated (rebuilt on next request) while every other built row
+// receives an O(1) delta update — subtract the stale payoff against t, add
+// the payoff against t's new strategy.  Only the range [lo, hi) of rows is
+// materialised, so a distributed rank pays memory only for the block of
+// SSets it owns while still tracking the full strategy table.
+//
+// IncrementalMatrix is only used for noiseless populations of deterministic
+// strategies (the engines bypass it otherwise), so every pair payoff is a
+// pure function of the pair and the delta updates are exact; see the
+// package documentation for the cache-validity conditions.
+//
+// The type is not safe for concurrent use; each engine (or rank) owns one.
+type IncrementalMatrix struct {
+	cache      *PairCache
+	strategies []strategy.Strategy
+	lo, hi     int
+
+	pay   [][]float64 // pay[r][j]: payoff of SSet lo+r's strategy vs SSet j's
+	sums  []float64   // sums[r]: sum of pay[r][j] over j != lo+r
+	built []bool
+}
+
+// NewIncrementalMatrix returns a matrix tracking the given strategy table
+// and materialising the rows [lo, hi).  The table is copied; keep it
+// current with Update.
+func NewIncrementalMatrix(cache *PairCache, table []strategy.Strategy, lo, hi int) (*IncrementalMatrix, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("fitness: nil pair cache")
+	}
+	if lo < 0 || hi < lo || hi > len(table) {
+		return nil, fmt.Errorf("fitness: row range [%d,%d) invalid for %d strategies", lo, hi, len(table))
+	}
+	for i, s := range table {
+		if s == nil {
+			return nil, fmt.Errorf("fitness: nil strategy at index %d", i)
+		}
+	}
+	m := &IncrementalMatrix{
+		cache:      cache,
+		strategies: append([]strategy.Strategy(nil), table...),
+		lo:         lo,
+		hi:         hi,
+		pay:        make([][]float64, hi-lo),
+		sums:       make([]float64, hi-lo),
+		built:      make([]bool, hi-lo),
+	}
+	for r := range m.pay {
+		m.pay[r] = make([]float64, len(table))
+	}
+	return m, nil
+}
+
+// Len returns the number of SSets tracked.
+func (m *IncrementalMatrix) Len() int { return len(m.strategies) }
+
+// Rows returns the half-open range of rows this matrix materialises.
+func (m *IncrementalMatrix) Rows() (lo, hi int) { return m.lo, m.hi }
+
+// GamesPlayed returns the games executed through the underlying cache.
+func (m *IncrementalMatrix) GamesPlayed() int64 { return m.cache.Plays() }
+
+func (m *IncrementalMatrix) buildRow(i int) error {
+	r := i - m.lo
+	my := m.strategies[i]
+	sum := 0.0
+	for j := range m.strategies {
+		if j == i {
+			m.pay[r][j] = 0
+			continue
+		}
+		res, err := m.cache.Play(my, m.strategies[j], nil)
+		if err != nil {
+			return fmt.Errorf("fitness: row %d vs %d: %w", i, j, err)
+		}
+		m.pay[r][j] = res.FitnessA
+		sum += res.FitnessA
+	}
+	m.sums[r] = sum
+	m.built[r] = true
+	return nil
+}
+
+// Fitness returns the all-pairs fitness of SSet i (the summed focal payoff
+// against every other SSet), building the row through the cache if it has
+// not been materialised yet.  i must lie in [lo, hi).
+func (m *IncrementalMatrix) Fitness(i int) (float64, error) {
+	if i < m.lo || i >= m.hi {
+		return 0, fmt.Errorf("fitness: row %d outside materialised range [%d,%d)", i, m.lo, m.hi)
+	}
+	if !m.built[i-m.lo] {
+		if err := m.buildRow(i); err != nil {
+			return 0, err
+		}
+	}
+	return m.sums[i-m.lo], nil
+}
+
+// Update records that SSet idx now holds strategy s (an adoption or
+// mutation event).  Row idx is invalidated; every other built row gets a
+// delta update of its column idx, costing one cache lookup each — O(S)
+// work, with new game kernels only for pairs never seen before.
+func (m *IncrementalMatrix) Update(idx int, s strategy.Strategy) error {
+	if idx < 0 || idx >= len(m.strategies) {
+		return fmt.Errorf("fitness: update index %d outside table of %d strategies", idx, len(m.strategies))
+	}
+	if s == nil {
+		return fmt.Errorf("fitness: nil strategy in update")
+	}
+	m.strategies[idx] = s
+	for r := range m.built {
+		i := m.lo + r
+		if i == idx || !m.built[r] {
+			continue
+		}
+		res, err := m.cache.Play(m.strategies[i], s, nil)
+		if err != nil {
+			return fmt.Errorf("fitness: delta update row %d vs %d: %w", i, idx, err)
+		}
+		m.sums[r] += res.FitnessA - m.pay[r][idx]
+		m.pay[r][idx] = res.FitnessA
+	}
+	if idx >= m.lo && idx < m.hi {
+		m.built[idx-m.lo] = false
+	}
+	return nil
+}

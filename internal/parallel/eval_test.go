@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+
+	"evogame/internal/fitness"
+	"evogame/internal/population"
+	"evogame/internal/strategy"
+)
+
+func runMode(t *testing.T, mutate func(*Config), mode fitness.EvalMode) Result {
+	t.Helper()
+	cfg := baseConfig()
+	cfg.EvalMode = mode
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", mode, err)
+	}
+	return res
+}
+
+func assertSameTable(t *testing.T, label string, want, got []strategy.Strategy) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: table sizes differ", label)
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("%s: final table differs at SSet %d", label, i)
+		}
+	}
+}
+
+func TestEvalModesIdenticalDynamics(t *testing.T) {
+	want := runMode(t, nil, fitness.EvalFull)
+	for _, mode := range []fitness.EvalMode{fitness.EvalCached, fitness.EvalIncremental} {
+		got := runMode(t, nil, mode)
+		assertSameTable(t, mode.String(), want.FinalStrategies, got.FinalStrategies)
+		if want.NatureStats != got.NatureStats {
+			t.Fatalf("%v: nature stats differ: %+v vs %+v", mode, got.NatureStats, want.NatureStats)
+		}
+	}
+}
+
+func TestEvalModesIdenticalAcrossRankCounts(t *testing.T) {
+	var want []strategy.Strategy
+	for _, ranks := range []int{2, 3, 5} {
+		for _, mode := range []fitness.EvalMode{fitness.EvalCached, fitness.EvalIncremental} {
+			res := runMode(t, func(c *Config) {
+				c.Ranks = ranks
+				c.Generations = 40
+			}, mode)
+			if want == nil {
+				want = res.FinalStrategies
+				continue
+			}
+			assertSameTable(t, mode.String(), want, res.FinalStrategies)
+		}
+	}
+}
+
+func TestEvalModesMatchSerialEngine(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Generations = 80
+	cfg.MutationRate = 0.3
+
+	serial, err := population.New(population.Config{
+		NumSSets:      cfg.NumSSets,
+		AgentsPerSSet: cfg.AgentsPerSSet,
+		MemorySteps:   cfg.MemorySteps,
+		Rounds:        cfg.Rounds,
+		PCRate:        cfg.PCRate,
+		MutationRate:  cfg.MutationRate,
+		Beta:          cfg.Beta,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRes, err := serial.Run(context.Background(), cfg.Generations)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []fitness.EvalMode{fitness.EvalFull, fitness.EvalCached, fitness.EvalIncremental} {
+		par := runMode(t, func(c *Config) {
+			c.Generations = cfg.Generations
+			c.MutationRate = cfg.MutationRate
+		}, mode)
+		assertSameTable(t, mode.String(), serialRes.FinalStrategies, par.FinalStrategies)
+		if par.NatureStats != serialRes.NatureStats {
+			t.Fatalf("%v: nature stats differ from serial: %+v vs %+v", mode, par.NatureStats, serialRes.NatureStats)
+		}
+	}
+}
+
+func TestEvalModesReduceTotalGames(t *testing.T) {
+	full := runMode(t, nil, fitness.EvalFull)
+	cached := runMode(t, nil, fitness.EvalCached)
+	incr := runMode(t, nil, fitness.EvalIncremental)
+	if full.TotalGames == 0 || cached.TotalGames == 0 || incr.TotalGames == 0 {
+		t.Fatal("expected games in every mode")
+	}
+	if cached.TotalGames >= full.TotalGames {
+		t.Fatalf("cached mode played %d games, full mode %d", cached.TotalGames, full.TotalGames)
+	}
+	if incr.TotalGames > cached.TotalGames {
+		t.Fatalf("incremental mode played %d games, cached mode %d", incr.TotalGames, cached.TotalGames)
+	}
+}
+
+func TestEvalModesNoiseBypassIdentical(t *testing.T) {
+	mutate := func(c *Config) {
+		c.Noise = 0.05
+		c.Generations = 30
+	}
+	full := runMode(t, mutate, fitness.EvalFull)
+	for _, mode := range []fitness.EvalMode{fitness.EvalCached, fitness.EvalIncremental} {
+		got := runMode(t, mutate, mode)
+		assertSameTable(t, mode.String(), full.FinalStrategies, got.FinalStrategies)
+		if got.TotalGames != full.TotalGames {
+			t.Fatalf("%v: bypass played %d games, full played %d", mode, got.TotalGames, full.TotalGames)
+		}
+	}
+}
+
+func TestEvalModeWorkersAndOptLevelsInvariant(t *testing.T) {
+	// The cached modes must stay deterministic under worker fan-out (the
+	// pair cache is shared by a rank's workers) and across kernel
+	// optimization levels.
+	var want []strategy.Strategy
+	for _, workers := range []int{1, 4} {
+		for _, lvl := range []OptLevel{OptOriginal, OptFusedFitness} {
+			res := runMode(t, func(c *Config) {
+				c.WorkersPerRank = workers
+				c.OptLevel = lvl
+				c.Generations = 25
+			}, fitness.EvalCached)
+			if want == nil {
+				want = res.FinalStrategies
+				continue
+			}
+			assertSameTable(t, "cached", want, res.FinalStrategies)
+		}
+	}
+}
+
+func TestEvalModeSkipFitnessWhenIdleCompatible(t *testing.T) {
+	mutate := func(c *Config) {
+		c.PCRate = 0.2
+		c.Generations = 50
+	}
+	want := runMode(t, mutate, fitness.EvalFull)
+	for _, mode := range []fitness.EvalMode{fitness.EvalCached, fitness.EvalIncremental} {
+		res := runMode(t, func(c *Config) {
+			mutate(c)
+			c.SkipFitnessWhenIdle = true
+		}, mode)
+		assertSameTable(t, mode.String(), want.FinalStrategies, res.FinalStrategies)
+	}
+}
+
+func TestEvalModeInvalidRejected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.EvalMode = fitness.EvalMode(5)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("accepted an invalid eval mode")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/mpi"
 	"evogame/internal/nature"
@@ -131,6 +132,16 @@ type Config struct {
 	// scaling studies measure), which is the default here; the flag exists
 	// for long scientific runs where only the dynamics matter.
 	SkipFitnessWhenIdle bool
+	// EvalMode routes each SSet rank's fitness evaluation through the
+	// shared internal/fitness subsystem.  The zero value, fitness.EvalFull,
+	// replays every game every generation exactly as the paper's
+	// implementation does (the workload the scaling studies measure).
+	// EvalCached keeps a rank-local pair cache across generations, and
+	// EvalIncremental additionally maintains the rank's block of the
+	// fitness matrix, invalidated by the Nature Agent's broadcast
+	// strategy-table updates.  Noisy or mixed populations fall back to the
+	// EvalFull path, keeping all modes bit-for-bit identical per seed.
+	EvalMode fitness.EvalMode
 }
 
 func (c Config) validate() error {
@@ -157,6 +168,9 @@ func (c Config) validate() error {
 	}
 	if c.InitialStrategies != nil && len(c.InitialStrategies) != c.NumSSets {
 		return fmt.Errorf("parallel: %d initial strategies for %d SSets", len(c.InitialStrategies), c.NumSSets)
+	}
+	if !c.EvalMode.Valid() {
+		return fmt.Errorf("parallel: invalid eval mode %v", c.EvalMode)
 	}
 	return nil
 }
@@ -487,7 +501,29 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	}
 
 	games := int64(0)
-	fitness := make([]float64, hi-lo)
+	fit := make([]float64, hi-lo)
+
+	// The cached evaluation modes route all game play through a rank-local
+	// pair cache so each distinct strategy pair is played at most once per
+	// rank; the incremental mode additionally maintains this rank's block of
+	// rows of the fitness matrix, kept coherent by applying the Nature
+	// Agent's broadcast strategy-table updates as row/column invalidations.
+	// Noisy or mixed populations fall back to the full evaluation path so
+	// the trajectory is bit-identical to EvalFull.
+	var cache *fitness.PairCache
+	var matrix *fitness.IncrementalMatrix
+	if cfg.EvalMode != fitness.EvalFull && fitness.CacheUsable(engine, table) {
+		cache, err = fitness.NewPairCache(engine)
+		if err != nil {
+			return RankReport{}, err
+		}
+		if cfg.EvalMode == fitness.EvalIncremental {
+			matrix, err = fitness.NewIncrementalMatrix(cache, table, lo, hi)
+			if err != nil {
+				return RankReport{}, err
+			}
+		}
+	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		// Phase 1: receive the pairwise-comparison selection first so the
@@ -502,9 +538,21 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		}
 		pcOK, teacher, learner := decodeSelection(sel)
 
-		// Phase 2: local game play (the dominant compute).
+		// Phase 2: local game play (the dominant compute).  The incremental
+		// mode reads the maintained row sums instead of replaying games; the
+		// cached mode replays only pairs the rank has never seen.
 		if !cfg.SkipFitnessWhenIdle || pcOK {
 			err := rec.TimeErr(trace.PhaseCompute, func() error {
+				if matrix != nil {
+					for li := range locals {
+						f, err := matrix.Fitness(lo + li)
+						if err != nil {
+							return err
+						}
+						fit[li] = f
+					}
+					return nil
+				}
 				for li, s := range locals {
 					opponents := make([]strategy.Strategy, 0, cfg.NumSSets-1)
 					for j := 0; j < cfg.NumSSets; j++ {
@@ -516,15 +564,18 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 					if cfg.Noise > 0 {
 						src = rng.New(mixSeed(cfg.Seed, gen, s.ID()))
 					}
-					fit, err := s.Fitness(engine, opponents, sset.FitnessOptions{
+					f, err := s.Fitness(engine, opponents, sset.FitnessOptions{
 						Workers: cfg.WorkersPerRank,
 						Source:  src,
+						Cache:   cache,
 					})
 					if err != nil {
 						return err
 					}
-					fitness[li] = fit
-					games += int64(len(opponents))
+					fit[li] = f
+					if cache == nil {
+						games += int64(len(opponents))
+					}
 				}
 				return nil
 			})
@@ -537,12 +588,12 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		if pcOK {
 			if err := rec.TimeErr(trace.PhaseComm, func() error {
 				if teacher >= lo && teacher < hi {
-					if err := sendFitness(c, cfg.OptLevel, tagFitnessTeacher, fitness[teacher-lo]); err != nil {
+					if err := sendFitness(c, cfg.OptLevel, tagFitnessTeacher, fit[teacher-lo]); err != nil {
 						return err
 					}
 				}
 				if learner >= lo && learner < hi {
-					if err := sendFitness(c, cfg.OptLevel, tagFitnessLearner, fitness[learner-lo]); err != nil {
+					if err := sendFitness(c, cfg.OptLevel, tagFitnessLearner, fit[learner-lo]); err != nil {
 						return err
 					}
 				}
@@ -566,23 +617,20 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 			return RankReport{}, err
 		}
 		if update.learning {
-			table[update.learner] = update.learnerStrategy
-			if update.learner >= lo && update.learner < hi {
-				if err := locals[update.learner-lo].SetStrategy(update.learnerStrategy); err != nil {
-					return RankReport{}, err
-				}
+			if err := applyTableChange(table, locals, matrix, lo, hi, update.learner, update.learnerStrategy); err != nil {
+				return RankReport{}, err
 			}
 		}
 		if update.mutation {
-			table[update.target] = update.targetStrategy
-			if update.target >= lo && update.target < hi {
-				if err := locals[update.target-lo].SetStrategy(update.targetStrategy); err != nil {
-					return RankReport{}, err
-				}
+			if err := applyTableChange(table, locals, matrix, lo, hi, update.target, update.targetStrategy); err != nil {
+				return RankReport{}, err
 			}
 		}
 	}
 
+	if cache != nil {
+		games = cache.Plays()
+	}
 	rep := RankReport{
 		Rank:        c.Rank(),
 		LocalSSets:  hi - lo,
@@ -592,6 +640,24 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		CommStats:   c.Stats(),
 	}
 	return rep, nil
+}
+
+// applyTableChange installs a broadcast strategy-table update on an SSet
+// rank: the rank's copy of the global table, the local SSet if this rank
+// owns the changed index, and — in EvalIncremental mode — the rank's block
+// of the fitness matrix, where the change invalidates row idx and
+// delta-updates column idx of every other local row.
+func applyTableChange(table []strategy.Strategy, locals []*sset.SSet, matrix *fitness.IncrementalMatrix, lo, hi, idx int, s strategy.Strategy) error {
+	table[idx] = s
+	if idx >= lo && idx < hi {
+		if err := locals[idx-lo].SetStrategy(s); err != nil {
+			return err
+		}
+	}
+	if matrix != nil {
+		return matrix.Update(idx, s)
+	}
+	return nil
 }
 
 // sendFitness returns the relative fitness of a selected SSet to the Nature

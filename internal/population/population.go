@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/nature"
 	"evogame/internal/rng"
@@ -76,8 +77,19 @@ type Config struct {
 	// Workers bounds the worker goroutines used for game play inside a
 	// fitness evaluation (the thread-level tier).  Zero selects GOMAXPROCS.
 	Workers int
-	// FitnessMode selects cached-distinct or exact-all-pairs evaluation.
+	// FitnessMode selects cached-distinct or exact-all-pairs evaluation for
+	// the EvalFull mode (the per-event evaluation styles that predate the
+	// shared fitness subsystem).
 	FitnessMode FitnessMode
+	// EvalMode routes fitness evaluation through the shared
+	// internal/fitness subsystem.  The zero value, fitness.EvalFull,
+	// preserves the FitnessMode behaviour above; EvalCached memoizes each
+	// distinct strategy pair across generations, and EvalIncremental
+	// additionally maintains per-SSet fitness sums with row/column
+	// invalidation.  Noisy or mixed populations transparently fall back to
+	// the EvalFull path so that all three modes stay bit-for-bit identical
+	// for a given seed.
+	EvalMode fitness.EvalMode
 	// StateMode and AccumMode select the kernel optimization levels
 	// (Figure 3); the zero values are the optimized settings.
 	StateMode game.StateMode
@@ -111,6 +123,9 @@ func (c Config) validate() error {
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("population: SampleEvery must be non-negative, got %d", c.SampleEvery)
+	}
+	if !c.EvalMode.Valid() {
+		return fmt.Errorf("population: invalid eval mode %v", c.EvalMode)
 	}
 	return nil
 }
@@ -164,6 +179,11 @@ type Model struct {
 	src    *rng.Source
 	gen    int
 	games  int64
+	// cache and matrix implement the EvalCached / EvalIncremental modes of
+	// the shared fitness subsystem; both are nil when the model runs on the
+	// EvalFull path (including the noise/mixed-strategy bypass).
+	cache  *fitness.PairCache
+	matrix *fitness.IncrementalMatrix
 }
 
 // New validates the configuration and builds a Model ready to run.
@@ -215,7 +235,22 @@ func New(cfg Config) (*Model, error) {
 		}
 		ssets[i] = s
 	}
-	return &Model{cfg: cfg, engine: engine, nat: nat, table: table, ssets: ssets, src: gameSrc}, nil
+	m := &Model{cfg: cfg, engine: engine, nat: nat, table: table, ssets: ssets, src: gameSrc}
+	if cfg.EvalMode != fitness.EvalFull && fitness.CacheUsable(engine, initial) {
+		cache, err := fitness.NewPairCache(engine)
+		if err != nil {
+			return nil, err
+		}
+		m.cache = cache
+		if cfg.EvalMode == fitness.EvalIncremental {
+			mat, err := fitness.NewIncrementalMatrix(cache, initial, 0, cfg.NumSSets)
+			if err != nil {
+				return nil, err
+			}
+			m.matrix = mat
+		}
+	}
+	return m, nil
 }
 
 // Config returns the model's configuration.
@@ -231,8 +266,15 @@ func (m *Model) PopulationSize() int { return m.cfg.NumSSets * m.cfg.AgentsPerSS
 // Strategies returns a snapshot of the current strategy table.
 func (m *Model) Strategies() []strategy.Strategy { return m.table.Snapshot() }
 
-// GamesPlayed returns the number of IPD games executed so far.
-func (m *Model) GamesPlayed() int64 { return m.games }
+// GamesPlayed returns the number of IPD games executed so far.  In the
+// cached evaluation modes every game runs through the pair cache, so the
+// count is the cache's play counter (misses plus bypassed games).
+func (m *Model) GamesPlayed() int64 {
+	if m.cache != nil {
+		return m.cache.Plays()
+	}
+	return m.games
+}
 
 // FractionOf returns the fraction of SSets currently holding a strategy
 // equal to s.
@@ -250,6 +292,28 @@ func (m *Model) FractionOf(s strategy.Strategy) float64 {
 // pairwise comparison.  Each SSet's fitness is the summed payoff of its
 // strategy against the strategy of every other SSet in the population.
 func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
+	if m.matrix != nil {
+		fa, err := m.matrix.Fitness(a)
+		if err != nil {
+			return 0, 0, err
+		}
+		fb, err := m.matrix.Fitness(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fa, fb, nil
+	}
+	if m.cache != nil {
+		fa, err := m.fitnessViaPairCache(a)
+		if err != nil {
+			return 0, 0, err
+		}
+		fb, err := m.fitnessViaPairCache(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fa, fb, nil
+	}
 	switch m.cfg.FitnessMode {
 	case FitnessExactAllPairs:
 		fa, err := m.fitnessExact(a)
@@ -273,6 +337,25 @@ func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
 		}
 		return fa, fb, nil
 	}
+}
+
+// fitnessViaPairCache sums SSet i's payoff against every other SSet through
+// the persistent pair cache (EvalCached): each distinct strategy pair is
+// played at most once per run.
+func (m *Model) fitnessViaPairCache(i int) (float64, error) {
+	my := m.table.Get(i)
+	total := 0.0
+	for j := 0; j < m.table.Len(); j++ {
+		if j == i {
+			continue
+		}
+		res, err := m.cache.Play(my, m.table.Get(j), nil)
+		if err != nil {
+			return 0, err
+		}
+		total += res.FitnessA
+	}
+	return total, nil
 }
 
 // fitnessExact plays SSet i against every other SSet's strategy explicitly.
@@ -324,6 +407,23 @@ func (m *Model) fitnessCached(i int, cache map[[2]string]float64) (float64, erro
 	return total, nil
 }
 
+// applyStrategyChange installs a new strategy for SSet idx everywhere the
+// engine tracks it: the authoritative table, the SSet itself, and — in
+// EvalIncremental mode — the fitness matrix, which invalidates row idx and
+// delta-updates every other row's column idx.
+func (m *Model) applyStrategyChange(idx int, s strategy.Strategy) error {
+	if err := m.table.Set(idx, s); err != nil {
+		return err
+	}
+	if err := m.ssets[idx].SetStrategy(s); err != nil {
+		return err
+	}
+	if m.matrix != nil {
+		return m.matrix.Update(idx, s)
+	}
+	return nil
+}
+
 // Step advances the simulation by one generation: a possible
 // pairwise-comparison learning event followed by a possible mutation, with
 // strategy-table updates applied immediately, as in the paper's Nature Agent
@@ -339,20 +439,14 @@ func (m *Model) Step() error {
 		m.nat.RecordPC(adopted)
 		if adopted {
 			newStrat := m.table.Get(teacher).Clone()
-			if err := m.table.Set(learner, newStrat); err != nil {
-				return err
-			}
-			if err := m.ssets[learner].SetStrategy(newStrat); err != nil {
+			if err := m.applyStrategyChange(learner, newStrat); err != nil {
 				return err
 			}
 		}
 	}
 	// Mutation.
 	if target, newStrat, ok := m.nat.MaybeMutation(m.cfg.NumSSets); ok {
-		if err := m.table.Set(target, newStrat); err != nil {
-			return err
-		}
-		if err := m.ssets[target].SetStrategy(newStrat); err != nil {
+		if err := m.applyStrategyChange(target, newStrat); err != nil {
 			return err
 		}
 	}
@@ -427,7 +521,7 @@ func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 		FinalStrategies:  m.Strategies(),
 		Samples:          samples,
 		NatureStats:      m.nat.Stats(),
-		TotalGamesPlayed: m.games,
+		TotalGamesPlayed: m.GamesPlayed(),
 	}, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/rng"
 	"evogame/internal/strategy"
@@ -115,6 +116,24 @@ type FitnessOptions struct {
 	// for fully deterministic games.  The source is split per opponent in a
 	// fixed order, so results are independent of the worker count.
 	Source *rng.Source
+	// Cache, when non-nil, routes every game of the batch through the shared
+	// pair cache: distinct noiseless deterministic pairs are played at most
+	// once per cache lifetime, while non-cacheable games bypass the cache
+	// transparently.  The cache is safe for the worker fan-out.
+	Cache *fitness.PairCache
+}
+
+// play runs one game of the batch, through the pair cache when one is
+// configured.
+func (o FitnessOptions) play(eng *game.Engine, my, opp strategy.Strategy, src *rng.Source) (float64, error) {
+	if o.Cache != nil {
+		res, err := o.Cache.Play(my, opp, src)
+		if err != nil {
+			return 0, err
+		}
+		return res.FitnessA, nil
+	}
+	return eng.PlayFitness(my, opp, src)
 }
 
 // Fitness plays the SSet's strategy against every opponent strategy and
@@ -169,7 +188,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 			if perGame != nil {
 				src = perGame[i]
 			}
-			fit, err := eng.PlayFitness(s.strat, opp, src)
+			fit, err := opts.play(eng, s.strat, opp, src)
 			if err != nil {
 				return 0, fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
 			}
@@ -200,7 +219,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 				if perGame != nil {
 					src = perGame[i]
 				}
-				fit, err := eng.PlayFitness(s.strat, opp, src)
+				fit, err := opts.play(eng, s.strat, opp, src)
 				if err != nil {
 					errs[w] = fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
 					return

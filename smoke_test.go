@@ -1,0 +1,84 @@
+package evogame
+
+// Smoke tests for the command-line programs and examples: every main under
+// cmd/ and examples/ must build and complete a brief run.  This catches
+// example drift (mains that no longer compile against the facade, or that
+// fail at startup) in CI without paying for the full default workloads.
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smokeTargets lists every main package with the arguments of a brief run.
+var smokeTargets = []struct {
+	name string
+	dir  string
+	args []string
+}{
+	{"evogame-serial", "./cmd/evogame", []string{
+		"-ssets", "12", "-agents", "2", "-rounds", "20", "-generations", "40",
+		"-sample-every", "20", "-noise", "0", "-eval", "incremental", "-clusters", "2"}},
+	{"evogame-parallel", "./cmd/evogame", []string{
+		"-parallel", "-ranks", "3", "-ssets", "12", "-agents", "2", "-rounds", "20",
+		"-generations", "20", "-noise", "0", "-eval", "cached"}},
+	{"validate", "./cmd/validate", []string{
+		"-ssets", "12", "-agents", "2", "-generations", "200", "-k", "2"}},
+	{"benchtables", "./cmd/benchtables", []string{"-table", "4"}},
+	{"quickstart", "./examples/quickstart", []string{"-ssets", "12", "-generations", "200"}},
+	{"axelrod_tournament", "./examples/axelrod_tournament", nil},
+	{"memory_sweep", "./examples/memory_sweep", []string{
+		"-ssets", "9", "-ranks", "3", "-generations", "2"}},
+	{"scaling_study", "./examples/scaling_study", nil},
+	{"wsls_emergence", "./examples/wsls_emergence", []string{
+		"-ssets", "16", "-generations", "500"}},
+}
+
+func TestSmokeMains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke runs of cmd/ and examples/ skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	binDir := t.TempDir()
+
+	built := make(map[string]string)
+	for _, target := range smokeTargets {
+		if _, ok := built[target.dir]; ok {
+			continue
+		}
+		out := filepath.Join(binDir, filepath.Base(target.dir))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		cmd := exec.CommandContext(ctx, goBin, "build", "-o", out, target.dir)
+		output, err := cmd.CombinedOutput()
+		cancel()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", target.dir, err, output)
+		}
+		built[target.dir] = out
+	}
+
+	for _, target := range smokeTargets {
+		target := target
+		t.Run(target.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, built[target.dir], target.args...)
+			output, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("%s %v timed out", target.dir, target.args)
+			}
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", target.dir, target.args, err, output)
+			}
+			if len(output) == 0 {
+				t.Fatalf("%s produced no output", target.dir)
+			}
+		})
+	}
+}
