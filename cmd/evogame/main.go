@@ -8,6 +8,8 @@
 //	evogame -ssets 256 -memory 1 -generations 50000 -noise 0.05
 //	evogame -parallel -ranks 9 -ssets 256 -memory 6 -generations 100
 //	evogame -ssets 128 -generations 20000 -checkpoint run.ckpt
+//	evogame -game snowdrift -rule moran -ssets 128 -noise 0 -eval incremental
+//	evogame -game generic -payoff 5,1,6,2 -generations 10000
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"evogame"
@@ -45,10 +49,18 @@ func main() {
 		ckptPath    = flag.String("checkpoint", "", "write the final population to this checkpoint file")
 		clusters    = flag.Int("clusters", 0, "cluster the final population into K groups (0 = skip)")
 		evalName    = flag.String("eval", "full", "fitness evaluation mode: full, cached or incremental (noiseless runs only; noisy runs fall back to full)")
+		gameName    = flag.String("game", "ipd", "game scenario: "+strings.Join(evogame.Games(), ", "))
+		ruleName    = flag.String("rule", "fermi", "update rule: "+strings.Join(evogame.UpdateRules(), ", "))
+		payoffCSV   = flag.String("payoff", "", "payoff override as R,S,T,P (must satisfy the scenario's constraints)")
 	)
 	flag.Parse()
 
 	evalMode, err := evogame.ParseEvalMode(*evalName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evogame:", err)
+		os.Exit(1)
+	}
+	payoff, err := parsePayoff(*payoffCSV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -58,11 +70,32 @@ func main() {
 		ssets: *ssets, agents: *agents, memory: *memory, rounds: *rounds, noise: *noise,
 		pcRate: *pcRate, muRate: *muRate, beta: *beta, generations: *generations,
 		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, clusters: *clusters,
-		evalMode: evalMode,
+		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePayoff parses the -payoff flag's "R,S,T,P" value; an empty string
+// means "use the scenario's canonical payoff".
+func parsePayoff(csv string) ([]float64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("-payoff wants 4 comma-separated values R,S,T,P, got %q", csv)
+	}
+	out := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-payoff value %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 type runOptions struct {
@@ -77,6 +110,8 @@ type runOptions struct {
 	ckptPath                    string
 	clusters                    int
 	evalMode                    evogame.EvalMode
+	game, rule                  string
+	payoff                      []float64
 }
 
 func run(o runOptions) error {
@@ -89,13 +124,14 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
+			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
 		})
 		if err != nil {
 			return err
 		}
 		finalStrategies = res.FinalStrategies
-		fmt.Printf("distributed run: %d generations, %d ranks, %d SSets, memory-%d\n",
-			res.Generations, o.ranks, o.ssets, o.memory)
+		fmt.Printf("distributed run: %d generations, %d ranks, %d SSets, memory-%d, game %s, rule %s\n",
+			res.Generations, o.ranks, o.ssets, o.memory, o.game, o.rule)
 		fmt.Printf("wallclock %.2fs  mean rank compute %.2fs  mean rank comm %.2fs  games %d\n",
 			res.WallClockSeconds, res.ComputeSeconds, res.CommSeconds, res.TotalGames)
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations\n",
@@ -110,14 +146,14 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
-			EvalMode: o.evalMode,
+			EvalMode: o.evalMode, Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
 		})
 		if err != nil {
 			return err
 		}
 		finalStrategies = res.FinalStrategies
-		fmt.Printf("serial run: %d generations, %d SSets x %d agents, memory-%d (%.2fs)\n",
-			res.Generations, o.ssets, o.agents, o.memory, time.Since(start).Seconds())
+		fmt.Printf("serial run: %d generations, %d SSets x %d agents, memory-%d, game %s, rule %s (%.2fs)\n",
+			res.Generations, o.ssets, o.agents, o.memory, o.game, o.rule, time.Since(start).Seconds())
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations, %d games\n",
 			res.PCEvents, res.Adoptions, res.Mutations, res.GamesPlayed)
 		t := stats.NewTable("Generation", "Distinct", "Top strategy", "Top %", "WSLS %", "ALLD %")
@@ -153,8 +189,16 @@ func run(o runOptions) error {
 			Generation:  o.generations,
 			Seed:        o.seed,
 			MemorySteps: o.memory,
+			Game:        o.game,
+			UpdateRule:  o.rule,
 			Strategies:  strats,
 			Label:       "evogame CLI run",
+		}
+		if info, err := evogame.DescribeGame(o.game); err == nil {
+			snap.Payoff = info.Payoff
+		}
+		if len(o.payoff) == 4 {
+			copy(snap.Payoff[:], o.payoff)
 		}
 		if err := checkpoint.Save(o.ckptPath, snap); err != nil {
 			return err

@@ -3,9 +3,14 @@
 // in Evolutionary Game Dynamics" (Randles et al., IPDPS 2013).
 //
 // The framework simulates a population of Strategy Sets (groups of agents
-// sharing one Iterated Prisoner's Dilemma strategy with one to six rounds of
-// memory) evolving under pairwise-comparison learning with the Fermi rule
-// and random mutation.  Two engines are provided behind this facade:
+// sharing one repeated-game strategy with one to six rounds of memory)
+// evolving under a pluggable update rule and random mutation.  The paper's
+// scenario — the Iterated Prisoner's Dilemma with pairwise-comparison Fermi
+// learning — is the default entry of two registries: Games() lists the
+// playable scenarios (IPD, Snowdrift, Stag Hunt, generic 2x2) and
+// UpdateRules() the adoption rules (Fermi, imitation, Moran death-birth),
+// selected through SimulationConfig.Game / .UpdateRule.  Two engines are
+// provided behind this facade:
 //
 //   - Simulate runs the serial reference engine, suitable for scientific
 //     studies such as the Win-Stay Lose-Shift emergence validation.
@@ -27,6 +32,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/kmeans"
@@ -87,6 +93,71 @@ func (m EvalMode) toInternal() (fitness.EvalMode, error) {
 	return im, nil
 }
 
+// Games returns the names of the registered game scenarios ("ipd",
+// "snowdrift", "staghunt", "generic", plus any registered extensions).
+// Every scenario works in both engines and under every EvalMode.
+func Games() []string { return game.SpecNames() }
+
+// UpdateRules returns the names of the registered update rules ("fermi",
+// "imitation", "moran", plus any registered extensions).
+func UpdateRules() []string { return dynamics.Names() }
+
+// GameInfo describes one registered scenario.
+type GameInfo struct {
+	// Name is the registry key accepted by SimulationConfig.Game.
+	Name string
+	// Title is a short human description.
+	Title string
+	// Payoff holds the canonical payoff values as [R, S, T, P].
+	Payoff [4]float64
+}
+
+// DescribeGame returns the registered scenario with the given name.
+func DescribeGame(name string) (GameInfo, error) {
+	spec, err := game.LookupSpec(name)
+	if err != nil {
+		return GameInfo{}, err
+	}
+	return GameInfo{
+		Name:   spec.Name,
+		Title:  spec.Title,
+		Payoff: spec.Payoff.Table(),
+	}, nil
+}
+
+// resolveScenario maps the facade's scenario knobs — a game name, an
+// optional [R, S, T, P] payoff override and an update-rule name — onto the
+// internal spec and rule values shared by both engines.  Empty strings
+// select the paper's defaults (IPD, Fermi).
+func resolveScenario(gameName string, payoff []float64, ruleName string) (game.Spec, dynamics.Rule, error) {
+	if gameName == "" {
+		gameName = "ipd"
+	}
+	spec, err := game.LookupSpec(gameName)
+	if err != nil {
+		return game.Spec{}, nil, fmt.Errorf("evogame: %w", err)
+	}
+	if len(payoff) > 0 {
+		if len(payoff) != 4 {
+			return game.Spec{}, nil, fmt.Errorf("evogame: payoff override needs 4 values [R,S,T,P], got %d", len(payoff))
+		}
+		spec, err = spec.WithPayoff(game.Matrix{
+			Reward: payoff[0], Sucker: payoff[1], Temptation: payoff[2], Punishment: payoff[3],
+		})
+		if err != nil {
+			return game.Spec{}, nil, fmt.Errorf("evogame: %w", err)
+		}
+	}
+	if ruleName == "" {
+		ruleName = "fermi"
+	}
+	rule, err := dynamics.Lookup(ruleName)
+	if err != nil {
+		return game.Spec{}, nil, fmt.Errorf("evogame: %w", err)
+	}
+	return spec, rule, nil
+}
+
 // SimulationConfig configures the serial reference engine.
 type SimulationConfig struct {
 	// NumSSets is the number of Strategy Sets (>= 2).
@@ -121,6 +192,16 @@ type SimulationConfig struct {
 	// EvalMode selects full, cached or incremental fitness evaluation; all
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
+	// Game names the scenario to play; empty selects "ipd", the paper's
+	// Iterated Prisoner's Dilemma.  See Games() for the registry.
+	Game string
+	// Payoff optionally overrides the scenario's canonical payoff values as
+	// [R, S, T, P]; the override must satisfy the scenario's constraints.
+	Payoff []float64
+	// UpdateRule names the adoption rule; empty selects "fermi", the
+	// paper's pairwise-comparison process.  See UpdateRules() for the
+	// registry.
+	UpdateRule string
 }
 
 // Sample is one abundance observation of the population.
@@ -167,12 +248,18 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 	if err != nil {
 		return population.Config{}, err
 	}
+	spec, rule, err := resolveScenario(c.Game, c.Payoff, c.UpdateRule)
+	if err != nil {
+		return population.Config{}, err
+	}
 	cfg := population.Config{
 		NumSSets:      c.NumSSets,
 		AgentsPerSSet: c.AgentsPerSSet,
 		MemorySteps:   c.MemorySteps,
 		Rounds:        rounds,
 		Noise:         c.Noise,
+		Game:          spec,
+		UpdateRule:    rule,
 		PCRate:        c.PCRate,
 		MutationRate:  c.MutationRate,
 		Beta:          c.Beta,
@@ -276,6 +363,11 @@ type ParallelConfig struct {
 	// EvalMode selects full, cached or incremental fitness evaluation; all
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
+	// Game, Payoff and UpdateRule select the scenario, exactly as in
+	// SimulationConfig; empty values are the paper's IPD + Fermi defaults.
+	Game       string
+	Payoff     []float64
+	UpdateRule string
 }
 
 // RankSummary reports one rank's work and communication.
@@ -319,10 +411,16 @@ func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
 	if err != nil {
 		return ParallelResult{}, err
 	}
+	spec, rule, err := resolveScenario(cfg.Game, cfg.Payoff, cfg.UpdateRule)
+	if err != nil {
+		return ParallelResult{}, err
+	}
 	internal := parallel.Config{
 		Ranks:               cfg.Ranks,
 		WorkersPerRank:      cfg.WorkersPerRank,
 		EvalMode:            evalMode,
+		Game:                spec,
+		UpdateRule:          rule,
 		NumSSets:            cfg.NumSSets,
 		AgentsPerSSet:       cfg.AgentsPerSSet,
 		MemorySteps:         cfg.MemorySteps,

@@ -1,0 +1,112 @@
+// Snowdrift equilibrium: the same population dynamics as the paper's IPD
+// validation, played on the Snowdrift (Hawk-Dove) scenario from the game
+// registry.  In the Prisoner's Dilemma cooperating against a defector earns
+// the worst payoff (S < P), so post-defection cooperation is bred out of
+// the population; in Snowdrift the ordering T > R > S > P makes yielding to
+// a defector the best reply, so cooperative play survives at equilibrium —
+// a non-PD equilibrium the hardwired engines could not express.
+//
+// The example evolves the same seeded populations under three payoff
+// regimes — the PD baseline, the canonical snowdrift matrix (benefit b=4,
+// cost c=2) and a high-cost snowdrift (c=3, cost-to-benefit ratio 0.6) —
+// and reports how often the evolved strategies cooperate right after the
+// opponent defected, averaged over a few independent seeds.
+//
+//	go run ./examples/snowdrift
+//	go run ./examples/snowdrift -ssets 128 -generations 40000 -seeds 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"evogame"
+)
+
+func main() {
+	ssetsFlag := flag.Int("ssets", 96, "number of Strategy Sets")
+	gensFlag := flag.Int("generations", 20000, "generations to simulate per run")
+	seedsFlag := flag.Int("seeds", 3, "independent seeds to average per scenario")
+	flag.Parse()
+
+	scenarios := []struct {
+		label  string
+		game   string
+		payoff []float64
+	}{
+		{"ipd (paper baseline)", "ipd", nil},
+		{"snowdrift b=4 c=2", "snowdrift", nil},
+		{"snowdrift b=4 c=3", "snowdrift", []float64{2.5, 1, 4, 0}}, // R=b-c/2, S=b-c, T=b, P=0
+	}
+
+	fmt.Printf("evolving %d SSets of memory-one strategies, %d generations x %d seeds per scenario...\n\n",
+		*ssetsFlag, *gensFlag, *seedsFlag)
+	fmt.Printf("%-22s  %-18s  %s\n", "scenario", "payoff [R,S,T,P]", "yields to defector (mean over seeds)")
+	for _, sc := range scenarios {
+		start := time.Now()
+		meanYield, games := 0.0, int64(0)
+		for seed := 0; seed < *seedsFlag; seed++ {
+			res, err := evogame.Simulate(context.Background(), evogame.SimulationConfig{
+				NumSSets:      *ssetsFlag,
+				AgentsPerSSet: 4,
+				MemorySteps:   1,
+				Rounds:        evogame.DefaultRounds,
+				PCRate:        1.0,
+				MutationRate:  0.05,
+				Beta:          1.0,
+				Generations:   *gensFlag,
+				Seed:          2004 + uint64(seed), // 2004: Hauert & Doebeli's snowdrift study
+				EvalMode:      evogame.EvalIncremental,
+				Game:          sc.game,
+				Payoff:        sc.payoff,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			meanYield += yieldRate(res.FinalStrategies)
+			games += res.GamesPlayed
+		}
+		meanYield /= float64(*seedsFlag)
+
+		info, err := evogame.DescribeGame(sc.game)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payoff := info.Payoff
+		if sc.payoff != nil {
+			copy(payoff[:], sc.payoff)
+		}
+		fmt.Printf("%-22s  %-18s  %5.1f%%   (%.1fs, %d games)\n",
+			sc.label, fmt.Sprintf("%v", payoff), 100*meanYield, time.Since(start).Seconds(), games)
+	}
+	fmt.Println("\n\"yields to defector\" is the fraction of post-defection states (opponent played D")
+	fmt.Println("last round) in which the evolved strategies cooperate anyway.  The PD breeds that")
+	fmt.Println("move out (it earns the sucker's payoff S=0); snowdrift's S > P keeps it at high")
+	fmt.Println("frequency at the canonical cost and alive — intermittently, as Hauert & Doebeli")
+	fmt.Println("observed — even at a 0.6 cost-to-benefit ratio.")
+}
+
+// yieldRate returns the fraction of post-defection states in which the
+// population's strategies cooperate: over every SSet's memory-one move
+// table, the states whose low bit is 1 (the opponent defected last round)
+// and whose prescribed move is '0' (cooperate).
+func yieldRate(finalStrategies []string) float64 {
+	states, cooperations := 0, 0
+	for _, moves := range finalStrategies {
+		for s := 0; s < len(moves); s++ {
+			if s&1 == 1 { // opponent's previous move was D
+				states++
+				if moves[s] == '0' {
+					cooperations++
+				}
+			}
+		}
+	}
+	if states == 0 {
+		return 0
+	}
+	return float64(cooperations) / float64(states)
+}

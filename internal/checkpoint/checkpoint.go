@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"evogame/internal/game"
 	"evogame/internal/strategy"
 )
 
@@ -29,34 +30,78 @@ type Snapshot struct {
 	Seed uint64
 	// MemorySteps is the memory depth of the strategies.
 	MemorySteps int
+	// Game is the name of the scenario the run played ("ipd", "snowdrift",
+	// ...) and Payoff its effective payoff values as [R, S, T, P].
+	// Checkpoints written before the scenario registry (format version 1)
+	// restore with the paper's IPD defaults.
+	Game   string
+	Payoff [4]float64
+	// UpdateRule is the name of the adoption rule the run used ("fermi",
+	// "imitation", "moran"); version-1 checkpoints restore as "fermi".
+	UpdateRule string
 	// Strategies is the strategy table, one entry per SSet.
 	Strategies []strategy.Strategy
 	// Label is free-form metadata (experiment name, parameters).
 	Label string
 }
 
-// envelope is the gob-encoded on-disk representation.
+// envelope is the gob-encoded on-disk representation.  Version 2 added the
+// Game, Payoff and UpdateRule fields; gob's name-based decoding leaves them
+// zero when reading a version-1 stream, and Read fills in the pre-registry
+// defaults.
 type envelope struct {
 	Version     int
 	Generation  int
 	Seed        uint64
 	MemorySteps int
+	Game        string
+	Payoff      [4]float64
+	UpdateRule  string
 	Label       string
 	Strategies  [][]byte
 }
 
-const formatVersion = 1
+const formatVersion = 2
+
+// defaultGame / defaultRule are the identities every pre-registry run had.
+const (
+	defaultGame = "ipd"
+	defaultRule = "fermi"
+)
+
+func standardPayoff() [4]float64 {
+	return game.Standard().Table()
+}
 
 // Write serialises the snapshot to w.
 func Write(w io.Writer, s Snapshot) error {
 	if len(s.Strategies) == 0 {
 		return fmt.Errorf("checkpoint: empty strategy table")
 	}
+	if s.Game == "" {
+		s.Game = defaultGame
+	}
+	if s.UpdateRule == "" {
+		s.UpdateRule = defaultRule
+	}
+	if s.Payoff == ([4]float64{}) {
+		// An all-zero payoff means "the scenario's canonical matrix"; record
+		// the actual values so the checkpoint is self-describing even if the
+		// registry's canonical payoff ever changes.  (A run that genuinely
+		// played the all-zero generic matrix cannot be distinguished from an
+		// unset field; its payoffs carry no information either way.)
+		if spec, err := game.LookupSpec(s.Game); err == nil {
+			s.Payoff = spec.Payoff.Table()
+		}
+	}
 	env := envelope{
 		Version:     formatVersion,
 		Generation:  s.Generation,
 		Seed:        s.Seed,
 		MemorySteps: s.MemorySteps,
+		Game:        s.Game,
+		Payoff:      s.Payoff,
+		UpdateRule:  s.UpdateRule,
 		Label:       s.Label,
 		Strategies:  make([][]byte, len(s.Strategies)),
 	}
@@ -79,8 +124,14 @@ func Read(r io.Reader) (Snapshot, error) {
 	if err := gob.NewDecoder(r).Decode(&env); err != nil {
 		return Snapshot{}, fmt.Errorf("checkpoint: decoding: %w", err)
 	}
-	if env.Version != formatVersion {
+	if env.Version < 1 || env.Version > formatVersion {
 		return Snapshot{}, fmt.Errorf("checkpoint: unsupported format version %d", env.Version)
+	}
+	if env.Version == 1 {
+		// Pre-registry checkpoints are IPD + Fermi by construction.
+		env.Game = defaultGame
+		env.Payoff = standardPayoff()
+		env.UpdateRule = defaultRule
 	}
 	if len(env.Strategies) == 0 {
 		return Snapshot{}, fmt.Errorf("checkpoint: empty strategy table")
@@ -89,6 +140,9 @@ func Read(r io.Reader) (Snapshot, error) {
 		Generation:  env.Generation,
 		Seed:        env.Seed,
 		MemorySteps: env.MemorySteps,
+		Game:        env.Game,
+		Payoff:      env.Payoff,
+		UpdateRule:  env.UpdateRule,
 		Label:       env.Label,
 		Strategies:  make([]strategy.Strategy, len(env.Strategies)),
 	}

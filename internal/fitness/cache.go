@@ -10,10 +10,15 @@ import (
 )
 
 // pairKey is the canonical encoding of an ordered (focal, opponent)
-// strategy pair.  Each side is the strategy codec's self-describing byte
-// encoding, so two strategies with identical move tables share one key
-// regardless of which Strategy value holds them.
+// strategy pair under one game.  Each strategy side is the codec's
+// self-describing byte encoding, so two strategies with identical move
+// tables share one key regardless of which Strategy value holds them; the
+// game component is the engine's canonical game identity (scenario name,
+// payoff values, rounds), so memoized results can never leak between
+// scenarios.  Every entry of one cache shares the same game string value,
+// so the extra field costs one string header per entry, not a copy.
 type pairKey struct {
+	game       string
 	focal, opp string
 }
 
@@ -32,6 +37,7 @@ const maxCacheBytes = 64 << 20
 // deterministic for a given seed).
 type PairCache struct {
 	eng        *game.Engine
+	gameID     string
 	maxEntries int
 
 	mu      sync.Mutex
@@ -40,7 +46,8 @@ type PairCache struct {
 	hits    int64
 }
 
-// NewPairCache returns an empty cache bound to the given engine.
+// NewPairCache returns an empty cache bound to the given engine; the
+// engine's game identity becomes part of every cache key.
 func NewPairCache(eng *game.Engine) (*PairCache, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("fitness: nil engine")
@@ -52,7 +59,7 @@ func NewPairCache(eng *game.Engine) (*PairCache, error) {
 	if maxEntries < 4096 {
 		maxEntries = 4096
 	}
-	return &PairCache{eng: eng, maxEntries: maxEntries, entries: make(map[pairKey]game.Result)}, nil
+	return &PairCache{eng: eng, gameID: eng.GameID(), maxEntries: maxEntries, entries: make(map[pairKey]game.Result)}, nil
 }
 
 // CacheUsable reports whether the cache-validity conditions hold for a
@@ -76,6 +83,34 @@ func CacheUsable(eng *game.Engine, table []strategy.Strategy) bool {
 
 // Engine returns the engine the cache plays games with.
 func (c *PairCache) Engine() *game.Engine { return c.eng }
+
+// GameID returns the canonical game identity incorporated into every cache
+// key.
+func (c *PairCache) GameID() string { return c.gameID }
+
+// DeltaExact reports whether the IncrementalMatrix's delta updates are
+// bit-exact for the engine's game: with an integer-valued payoff matrix
+// every fitness sum is an exactly-representable integer, so subtracting and
+// re-adding pair payoffs reproduces a fresh evaluation bit for bit.  The
+// engines downgrade EvalIncremental to EvalCached when this fails (for
+// example a generic 2x2 game with fractional payoffs), preserving the
+// all-modes-identical guarantee.
+func DeltaExact(eng *game.Engine) bool {
+	return eng != nil && eng.Payoff().IntegerValued()
+}
+
+// EffectiveMode returns the evaluation mode an engine should actually run
+// for the requested mode: EvalIncremental downgrades to EvalCached when the
+// engine's game cannot guarantee bit-exact delta updates (see DeltaExact).
+// Both engines route their mode selection through this single gate so a new
+// cache-validity condition cannot be applied to one engine and missed in
+// the other.
+func EffectiveMode(eng *game.Engine, mode EvalMode) EvalMode {
+	if mode == EvalIncremental && !DeltaExact(eng) {
+		return EvalCached
+	}
+	return mode
+}
 
 // Cacheable reports whether a game between a and b is a pure function of
 // the pair and may therefore be memoized: the engine must be noiseless and
@@ -134,7 +169,7 @@ func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, 
 		c.mu.Unlock()
 		return res, nil
 	}
-	key := pairKey{focal: ka, opp: kb}
+	key := pairKey{game: c.gameID, focal: ka, opp: kb}
 
 	c.mu.Lock()
 	if res, ok := c.entries[key]; ok {
@@ -161,7 +196,7 @@ func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, 
 			c.entries = make(map[pairKey]game.Result)
 		}
 		c.entries[key] = res
-		c.entries[pairKey{focal: kb, opp: ka}] = swap(res)
+		c.entries[pairKey{game: c.gameID, focal: kb, opp: ka}] = swap(res)
 	}
 	c.mu.Unlock()
 	return res, nil

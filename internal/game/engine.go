@@ -51,6 +51,7 @@ func (m AccumMode) String() string {
 // after construction and safe for concurrent use by multiple goroutines as
 // long as each call supplies its own rng.Source.
 type Engine struct {
+	spec      Spec
 	payoff    Matrix
 	table     [4]float64
 	rounds    int
@@ -64,8 +65,13 @@ type Engine struct {
 // EngineConfig collects the knobs of the IPD kernel.  The zero value is not
 // valid; use the documented defaults below.
 type EngineConfig struct {
-	// Payoff is the Prisoner's Dilemma payoff matrix; it must satisfy the PD
-	// conditions.  Defaults to Standard() when zero.
+	// Game is the scenario the engine plays (see Spec and the registry).
+	// The zero value selects the paper's IPD spec, so legacy configurations
+	// behave exactly as before the scenario registry existed.
+	Game Spec
+	// Payoff overrides the spec's canonical payoff matrix; it must satisfy
+	// the spec's constraints.  The zero value selects Game.Payoff (which for
+	// the default IPD spec is Standard()).
 	Payoff Matrix
 	// Rounds is the number of rounds per game (the paper uses 200).
 	Rounds int
@@ -86,12 +92,16 @@ const DefaultRounds = 200
 
 // NewEngine validates the configuration and returns an Engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
-	if cfg.Payoff == (Matrix{}) {
-		cfg.Payoff = Standard()
+	if cfg.Game.Name == "" {
+		cfg.Game = IPD()
 	}
-	if err := cfg.Payoff.Validate(); err != nil {
+	if cfg.Payoff == (Matrix{}) {
+		cfg.Payoff = cfg.Game.Payoff
+	}
+	if err := cfg.Game.Validate(cfg.Payoff); err != nil {
 		return nil, err
 	}
+	cfg.Game.Payoff = cfg.Payoff
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("game: rounds must be positive, got %d", cfg.Rounds)
 	}
@@ -102,6 +112,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("game: memory steps must be in [1,%d], got %d", MaxMemorySteps, cfg.MemorySteps)
 	}
 	e := &Engine{
+		spec:      cfg.Game,
 		payoff:    cfg.Payoff,
 		table:     cfg.Payoff.Table(),
 		rounds:    cfg.Rounds,
@@ -127,6 +138,18 @@ func (e *Engine) Noise() float64 { return e.noise }
 
 // Payoff returns the engine's payoff matrix.
 func (e *Engine) Payoff() Matrix { return e.payoff }
+
+// Game returns the scenario spec the engine plays (with the effective
+// payoff matrix installed).
+func (e *Engine) Game() Spec { return e.spec }
+
+// GameID returns the canonical identity of the game this engine plays:
+// scenario, effective payoff values and rounds per game.  The fitness
+// subsystem incorporates it into cache keys so memoized results can never
+// leak between scenarios.
+func (e *Engine) GameID() string {
+	return fmt.Sprintf("%s|rounds=%d", e.spec.ID(), e.rounds)
+}
 
 // Result holds the outcome of one Iterated Prisoner's Dilemma game.
 type Result struct {

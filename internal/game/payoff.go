@@ -14,6 +14,7 @@ package game
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Move is a single play in one round of the Prisoner's Dilemma.
@@ -58,13 +59,11 @@ func Standard() Matrix {
 // Validate checks the Prisoner's Dilemma conditions: T > R > P > S, which
 // makes defection the dominant single-shot strategy, and 2R > T + S, which
 // makes mutual cooperation collectively optimal in the repeated game.
+// Validation of non-PD matrices is per-scenario: use Spec.Validate with the
+// spec the matrix is meant to instantiate.
 func (m Matrix) Validate() error {
-	if !(m.Temptation > m.Reward && m.Reward > m.Punishment && m.Punishment > m.Sucker) {
-		return fmt.Errorf("game: payoff ordering violated, need T>R>P>S, got T=%v R=%v P=%v S=%v",
-			m.Temptation, m.Reward, m.Punishment, m.Sucker)
-	}
-	if !(2*m.Reward > m.Temptation+m.Sucker) {
-		return fmt.Errorf("game: 2R > T+S violated, got R=%v T=%v S=%v", m.Reward, m.Temptation, m.Sucker)
+	if err := IPD().Validate(m); err != nil {
+		return fmt.Errorf("%w: %w", ErrNonPD, err)
 	}
 	return nil
 }
@@ -118,6 +117,20 @@ func (m Matrix) MinPerRound() float64 {
 		}
 	}
 	return min
+}
+
+// IntegerValued reports whether every payoff is an exact integer.  Integer
+// matrices make every accumulated fitness sum an exactly-representable
+// float64, which is what lets the incremental fitness mode's delta updates
+// stay bit-identical to full re-evaluation; non-integer matrices fall back
+// to the pair-cached mode.
+func (m Matrix) IntegerValued() bool {
+	for _, v := range []float64{m.Reward, m.Sucker, m.Temptation, m.Punishment} {
+		if v != math.Trunc(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrNonPD is returned by helpers that require a valid Prisoner's Dilemma

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/mpi"
@@ -108,6 +109,14 @@ type Config struct {
 	MemorySteps   int
 	Rounds        int
 	Noise         float64
+
+	// Game selects the scenario played; the zero value is the paper's IPD
+	// spec (see game.LookupSpec).  Every rank plays the same game.
+	Game game.Spec
+	// UpdateRule selects the Nature Agent's adoption rule; nil is the
+	// paper's Fermi pairwise-comparison rule (see dynamics.Lookup).  Only
+	// rank 0 applies it, so the choreography is identical for every rule.
+	UpdateRule dynamics.Rule
 
 	// PCRate, MutationRate and Beta configure the Nature Agent (zero values
 	// select the paper's defaults).
@@ -346,6 +355,7 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 		MutationRate: cfg.MutationRate,
 		Beta:         cfg.Beta,
 		MemorySteps:  cfg.MemorySteps,
+		Rule:         cfg.UpdateRule,
 	}, natSrc)
 	if err != nil {
 		return nil, nature.Stats{}, RankReport{}, err
@@ -462,6 +472,7 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	lo, hi := blockRange(c.Rank(), cfg.NumSSets, cfg.Ranks)
 
 	engine, err := game.NewEngine(game.EngineConfig{
+		Game:        cfg.Game,
 		Rounds:      cfg.Rounds,
 		MemorySteps: cfg.MemorySteps,
 		Noise:       cfg.Noise,
@@ -512,12 +523,13 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	// the trajectory is bit-identical to EvalFull.
 	var cache *fitness.PairCache
 	var matrix *fitness.IncrementalMatrix
-	if cfg.EvalMode != fitness.EvalFull && fitness.CacheUsable(engine, table) {
+	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
+	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, table) {
 		cache, err = fitness.NewPairCache(engine)
 		if err != nil {
 			return RankReport{}, err
 		}
-		if cfg.EvalMode == fitness.EvalIncremental {
+		if evalMode == fitness.EvalIncremental {
 			matrix, err = fitness.NewIncrementalMatrix(cache, table, lo, hi)
 			if err != nil {
 				return RankReport{}, err

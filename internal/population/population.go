@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/nature"
@@ -67,6 +68,15 @@ type Config struct {
 	Rounds int
 	// Noise is the per-move error probability (Section III-F).
 	Noise float64
+	// Game selects the scenario played (payoff matrix + validity
+	// constraints); the zero value is the paper's IPD spec, which keeps
+	// legacy configurations bit-identical.  See game.LookupSpec for the
+	// registry of built-in scenarios.
+	Game game.Spec
+	// UpdateRule selects how a learner decides to adopt a teacher's
+	// strategy; nil is the paper's Fermi pairwise-comparison rule.  See
+	// dynamics.Lookup for the registry of built-in rules.
+	UpdateRule dynamics.Rule
 	// PCRate, MutationRate and Beta configure the Nature Agent; zero values
 	// select the paper's defaults (0.1, 0.05, β=1).
 	PCRate       float64
@@ -192,6 +202,7 @@ func New(cfg Config) (*Model, error) {
 		return nil, err
 	}
 	engine, err := game.NewEngine(game.EngineConfig{
+		Game:        cfg.Game,
 		Rounds:      cfg.Rounds,
 		MemorySteps: cfg.MemorySteps,
 		Noise:       cfg.Noise,
@@ -211,6 +222,7 @@ func New(cfg Config) (*Model, error) {
 		MutationRate: cfg.MutationRate,
 		Beta:         cfg.Beta,
 		MemorySteps:  cfg.MemorySteps,
+		Rule:         cfg.UpdateRule,
 	}, natSrc)
 	if err != nil {
 		return nil, err
@@ -236,13 +248,14 @@ func New(cfg Config) (*Model, error) {
 		ssets[i] = s
 	}
 	m := &Model{cfg: cfg, engine: engine, nat: nat, table: table, ssets: ssets, src: gameSrc}
-	if cfg.EvalMode != fitness.EvalFull && fitness.CacheUsable(engine, initial) {
+	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
+	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, initial) {
 		cache, err := fitness.NewPairCache(engine)
 		if err != nil {
 			return nil, err
 		}
 		m.cache = cache
-		if cfg.EvalMode == fitness.EvalIncremental {
+		if evalMode == fitness.EvalIncremental {
 			mat, err := fitness.NewIncrementalMatrix(cache, initial, 0, cfg.NumSSets)
 			if err != nil {
 				return nil, err

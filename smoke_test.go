@@ -25,6 +25,9 @@ var smokeTargets = []struct {
 	{"evogame-parallel", "./cmd/evogame", []string{
 		"-parallel", "-ranks", "3", "-ssets", "12", "-agents", "2", "-rounds", "20",
 		"-generations", "20", "-noise", "0", "-eval", "cached"}},
+	{"evogame-scenario", "./cmd/evogame", []string{
+		"-game", "snowdrift", "-rule", "moran", "-ssets", "12", "-agents", "2",
+		"-rounds", "20", "-generations", "40", "-noise", "0", "-eval", "incremental"}},
 	{"validate", "./cmd/validate", []string{
 		"-ssets", "12", "-agents", "2", "-generations", "200", "-k", "2"}},
 	{"benchtables", "./cmd/benchtables", []string{"-table", "4"}},
@@ -33,6 +36,8 @@ var smokeTargets = []struct {
 	{"memory_sweep", "./examples/memory_sweep", []string{
 		"-ssets", "9", "-ranks", "3", "-generations", "2"}},
 	{"scaling_study", "./examples/scaling_study", nil},
+	{"snowdrift", "./examples/snowdrift", []string{
+		"-ssets", "16", "-generations", "400", "-seeds", "2"}},
 	{"wsls_emergence", "./examples/wsls_emergence", []string{
 		"-ssets", "16", "-generations", "500"}},
 }
