@@ -10,6 +10,8 @@
 //	evogame -ssets 128 -generations 20000 -checkpoint run.ckpt
 //	evogame -game snowdrift -rule moran -ssets 128 -noise 0 -eval incremental
 //	evogame -game generic -payoff 5,1,6,2 -generations 10000
+//	evogame -topology torus:moore -ssets 256 -noise 0 -generations 50000
+//	evogame -topology smallworld:6:0.2 -ssets 512 -eval incremental
 package main
 
 import (
@@ -52,6 +54,7 @@ func main() {
 		gameName    = flag.String("game", "ipd", "game scenario: "+strings.Join(evogame.Games(), ", "))
 		ruleName    = flag.String("rule", "fermi", "update rule: "+strings.Join(evogame.UpdateRules(), ", "))
 		payoffCSV   = flag.String("payoff", "", "payoff override as R,S,T,P (must satisfy the scenario's constraints)")
+		topoName    = flag.String("topology", "wellmixed", "interaction topology: wellmixed, ring[:degree], torus[:vonneumann|moore], smallworld[:degree[:rewire-prob]]")
 	)
 	flag.Parse()
 
@@ -71,6 +74,7 @@ func main() {
 		pcRate: *pcRate, muRate: *muRate, beta: *beta, generations: *generations,
 		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, clusters: *clusters,
 		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
+		topology: *topoName,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -112,11 +116,17 @@ type runOptions struct {
 	evalMode                    evogame.EvalMode
 	game, rule                  string
 	payoff                      []float64
+	topology                    string
 }
 
 func run(o runOptions) error {
 	start := time.Now()
 	var finalStrategies []string
+
+	topo, err := evogame.DescribeTopology(o.topology)
+	if err != nil {
+		return err
+	}
 
 	if o.parallel {
 		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
@@ -124,14 +134,14 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
-			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
+			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
 		})
 		if err != nil {
 			return err
 		}
 		finalStrategies = res.FinalStrategies
-		fmt.Printf("distributed run: %d generations, %d ranks, %d SSets, memory-%d, game %s, rule %s\n",
-			res.Generations, o.ranks, o.ssets, o.memory, o.game, o.rule)
+		fmt.Printf("distributed run: %d generations, %d ranks, %d SSets, memory-%d, game %s, rule %s, topology %s\n",
+			res.Generations, o.ranks, o.ssets, o.memory, o.game, o.rule, topo.Canonical)
 		fmt.Printf("wallclock %.2fs  mean rank compute %.2fs  mean rank comm %.2fs  games %d\n",
 			res.WallClockSeconds, res.ComputeSeconds, res.CommSeconds, res.TotalGames)
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations\n",
@@ -147,13 +157,14 @@ func run(o runOptions) error {
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
 			EvalMode: o.evalMode, Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
+			Topology: o.topology,
 		})
 		if err != nil {
 			return err
 		}
 		finalStrategies = res.FinalStrategies
-		fmt.Printf("serial run: %d generations, %d SSets x %d agents, memory-%d, game %s, rule %s (%.2fs)\n",
-			res.Generations, o.ssets, o.agents, o.memory, o.game, o.rule, time.Since(start).Seconds())
+		fmt.Printf("serial run: %d generations, %d SSets x %d agents, memory-%d, game %s, rule %s, topology %s (%.2fs)\n",
+			res.Generations, o.ssets, o.agents, o.memory, o.game, o.rule, topo.Canonical, time.Since(start).Seconds())
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations, %d games\n",
 			res.PCEvents, res.Adoptions, res.Mutations, res.GamesPlayed)
 		t := stats.NewTable("Generation", "Distinct", "Top strategy", "Top %", "WSLS %", "ALLD %")
@@ -191,12 +202,12 @@ func run(o runOptions) error {
 			MemorySteps: o.memory,
 			Game:        o.game,
 			UpdateRule:  o.rule,
+			Topology:    topo.Canonical,
 			Strategies:  strats,
 			Label:       "evogame CLI run",
 		}
-		if info, err := evogame.DescribeGame(o.game); err == nil {
-			snap.Payoff = info.Payoff
-		}
+		// A zero Payoff is backfilled with the scenario's canonical matrix by
+		// checkpoint.Write; only an explicit -payoff override needs recording.
 		if len(o.payoff) == 4 {
 			copy(snap.Payoff[:], o.payoff)
 		}

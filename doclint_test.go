@@ -1,0 +1,132 @@
+package evogame
+
+// Documentation lints, enforced in CI as part of the regular test run (and
+// as a named step): every internal package must carry a package-level doc
+// comment, and every exported symbol of the facade (evogame.go) must carry
+// a doc comment.  This is the exported-comment discipline of revive/golint
+// implemented over go/ast so it needs no external tooling.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageDocs requires a package-level doc comment on every
+// package under internal/.
+func TestInternalPackageDocs(t *testing.T) {
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("internal", e.Name())
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (in %s) has no package-level doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestFacadeExportedDocs requires a doc comment on every exported symbol
+// declared in evogame.go: functions, methods, types, and the individual
+// specs of const/var/type groups (a spec inside a documented group is
+// fine).
+func TestFacadeExportedDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "evogame.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(pos token.Pos, symbol string) {
+		t.Errorf("%s: exported symbol %s has no doc comment", fset.Position(pos), symbol)
+	}
+	hasDoc := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g != nil && strings.TrimSpace(g.Text()) != "" {
+				return true
+			}
+		}
+		return false
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if !hasDoc(d.Doc) {
+				report(d.Pos(), describeFunc(d))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !hasDoc(s.Doc, d.Doc) {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && !hasDoc(s.Doc, s.Comment, d.Doc) {
+							report(name.Pos(), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func describeFunc(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	return fmt.Sprintf("method %s", d.Name.Name)
+}

@@ -1,0 +1,85 @@
+package evogame
+
+// Markdown link checker, enforced in CI as part of the regular test run
+// (and as a named step): every relative link in the repository's markdown
+// files — README.md, the docs/ tree and the example READMEs — must point
+// at a file or directory that exists, so the documentation tree cannot rot
+// silently as the code moves.  External (http/https/mailto) links are not
+// fetched; this lint is about intra-repository integrity.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles returns every tracked markdown file the lint covers.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip hidden trees (.git, .github holds no markdown we publish).
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — the link checker is miswired")
+	}
+	return files
+}
+
+// inlineLink matches [text](target) including image links; target may
+// carry an optional title, which is stripped below.
+var inlineLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	checked := 0
+	for _, file := range markdownFiles(t) {
+		content, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, match := range inlineLink.FindAllStringSubmatch(string(content), -1) {
+			target := match[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not this lint's business
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			// Strip an anchor suffix from a file link (docs/FOO.md#section).
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved to %s)", file, match[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links checked — the docs tree should contain at least the README <-> docs/ cross-links")
+	}
+}

@@ -6,11 +6,12 @@
 // sharing one repeated-game strategy with one to six rounds of memory)
 // evolving under a pluggable update rule and random mutation.  The paper's
 // scenario — the Iterated Prisoner's Dilemma with pairwise-comparison Fermi
-// learning — is the default entry of two registries: Games() lists the
-// playable scenarios (IPD, Snowdrift, Stag Hunt, generic 2x2) and
-// UpdateRules() the adoption rules (Fermi, imitation, Moran death-birth),
-// selected through SimulationConfig.Game / .UpdateRule.  Two engines are
-// provided behind this facade:
+// learning in a well-mixed population — is the default entry of three
+// registries: Games() lists the playable scenarios (IPD, Snowdrift, Stag
+// Hunt, generic 2x2), UpdateRules() the adoption rules (Fermi, imitation,
+// Moran death-birth) and Topologies() the interaction graphs (well-mixed,
+// ring, torus, small-world), selected through SimulationConfig.Game /
+// .UpdateRule / .Topology.  Two engines are provided behind this facade:
 //
 //   - Simulate runs the serial reference engine, suitable for scientific
 //     studies such as the Win-Stay Lose-Shift emergence validation.
@@ -39,6 +40,7 @@ import (
 	"evogame/internal/parallel"
 	"evogame/internal/population"
 	"evogame/internal/strategy"
+	"evogame/internal/topology"
 )
 
 // Version is the library version.
@@ -101,6 +103,65 @@ func Games() []string { return game.SpecNames() }
 // UpdateRules returns the names of the registered update rules ("fermi",
 // "imitation", "moran", plus any registered extensions).
 func UpdateRules() []string { return dynamics.Names() }
+
+// Topologies returns the names of the registered interaction topologies
+// ("wellmixed", "ring", "torus", "smallworld", plus any registered
+// extensions).  Every topology works in both engines and under every
+// EvalMode.
+func Topologies() []string { return topology.Names() }
+
+// TopologyInfo describes one registered interaction-topology family.
+type TopologyInfo struct {
+	// Name is the registry key accepted (with optional parameters) by
+	// SimulationConfig.Topology.
+	Name string
+	// Title is a short human description.
+	Title string
+	// Syntax is the parameterized selection syntax Parse accepts, for
+	// example "ring[:degree]".
+	Syntax string
+	// Canonical is the fully resolved spec string with the family's default
+	// parameters filled in, for example "ring:4"; it is the identity
+	// recorded in checkpoints.
+	Canonical string
+}
+
+// DescribeTopology resolves a topology selection — a registry name with
+// optional parameters, such as "ring", "ring:8" or "smallworld:6:0.2" —
+// and returns its description.
+func DescribeTopology(sel string) (TopologyInfo, error) {
+	spec, err := topology.Parse(sel)
+	if err != nil {
+		return TopologyInfo{}, fmt.Errorf("evogame: %w", err)
+	}
+	return TopologyInfo{
+		Name:      spec.Name,
+		Title:     spec.Title,
+		Syntax:    topology.Syntax(spec.Name),
+		Canonical: spec.String(),
+	}, nil
+}
+
+// TopologyNeighbors builds the named topology over n SSets with the given
+// seed — exactly the graph a simulation with the same Topology, NumSSets
+// and Seed runs on — and returns each SSet's neighbor list in ascending
+// order.  Analysis tooling uses it to relate final strategy tables to the
+// interaction structure (see examples/lattice_cooperation).
+func TopologyNeighbors(sel string, n int, seed uint64) ([][]int, error) {
+	spec, err := topology.Parse(sel)
+	if err != nil {
+		return nil, fmt.Errorf("evogame: %w", err)
+	}
+	g, err := spec.Build(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("evogame: %w", err)
+	}
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = topology.Neighbors(g, i)
+	}
+	return out, nil
+}
 
 // GameInfo describes one registered scenario.
 type GameInfo struct {
@@ -202,6 +263,13 @@ type SimulationConfig struct {
 	// paper's pairwise-comparison process.  See UpdateRules() for the
 	// registry.
 	UpdateRule string
+	// Topology names the interaction graph restricting which SSets meet in
+	// game play and learning, with optional colon-separated parameters
+	// ("ring:8", "torus:moore", "smallworld:6:0.2").  Empty selects
+	// "wellmixed", the paper's model, which is bit-identical per seed to
+	// the pre-topology engines.  See Topologies() for the registry and
+	// DescribeTopology for the per-family parameter syntax.
+	Topology string
 }
 
 // Sample is one abundance observation of the population.
@@ -252,6 +320,10 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 	if err != nil {
 		return population.Config{}, err
 	}
+	topo, err := topology.Parse(c.Topology)
+	if err != nil {
+		return population.Config{}, fmt.Errorf("evogame: %w", err)
+	}
 	cfg := population.Config{
 		NumSSets:      c.NumSSets,
 		AgentsPerSSet: c.AgentsPerSSet,
@@ -260,6 +332,7 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		Noise:         c.Noise,
 		Game:          spec,
 		UpdateRule:    rule,
+		Topology:      topo,
 		PCRate:        c.PCRate,
 		MutationRate:  c.MutationRate,
 		Beta:          c.Beta,
@@ -363,11 +436,13 @@ type ParallelConfig struct {
 	// EvalMode selects full, cached or incremental fitness evaluation; all
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
-	// Game, Payoff and UpdateRule select the scenario, exactly as in
-	// SimulationConfig; empty values are the paper's IPD + Fermi defaults.
+	// Game, Payoff, UpdateRule and Topology select the scenario, exactly as
+	// in SimulationConfig; empty values are the paper's IPD + Fermi +
+	// well-mixed defaults.
 	Game       string
 	Payoff     []float64
 	UpdateRule string
+	Topology   string
 }
 
 // RankSummary reports one rank's work and communication.
@@ -415,12 +490,17 @@ func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
 	if err != nil {
 		return ParallelResult{}, err
 	}
+	topo, err := topology.Parse(cfg.Topology)
+	if err != nil {
+		return ParallelResult{}, fmt.Errorf("evogame: %w", err)
+	}
 	internal := parallel.Config{
 		Ranks:               cfg.Ranks,
 		WorkersPerRank:      cfg.WorkersPerRank,
 		EvalMode:            evalMode,
 		Game:                spec,
 		UpdateRule:          rule,
+		Topology:            topo,
 		NumSSets:            cfg.NumSSets,
 		AgentsPerSSet:       cfg.AgentsPerSSet,
 		MemorySteps:         cfg.MemorySteps,

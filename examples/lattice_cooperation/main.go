@@ -1,0 +1,151 @@
+// Lattice cooperation: network reciprocity on a torus versus the
+// well-mixed baseline.
+//
+// In a well-mixed Prisoner's Dilemma population every cooperator is
+// exploitable by every defector, so defection-heavy strategies dominate.
+// On a sparse lattice an SSet only plays its graph neighbors; a patch of
+// mutual cooperators earns the reward payoff on every internal edge while
+// defectors on the patch boundary exploit at most a few cooperators each,
+// and learning events copy strategies only along edges — so cooperative
+// strategies spread locally and survive as spatial clusters (Nowak & May's
+// network reciprocity).  The example quantifies both effects:
+//
+//   - cooperativity: the mean fraction of strategy-table states that
+//     prescribe cooperation in the final population;
+//   - assortment: the fraction of graph edges whose endpoints hold the
+//     same strategy, against the expectation for a randomly shuffled
+//     placement of the same strategy counts.  A ratio above 1 means like
+//     strategies sit next to each other — spatial clustering the
+//     well-mixed population cannot express.
+//
+// Runs are averaged over independent seeds.
+//
+//	go run ./examples/lattice_cooperation
+//	go run ./examples/lattice_cooperation -ssets 400 -generations 40000 -seeds 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"evogame"
+
+	"evogame/internal/stats"
+)
+
+func main() {
+	ssets := flag.Int("ssets", 144, "number of Strategy Sets (a near-square count makes a square torus)")
+	generations := flag.Int("generations", 20000, "generations per run")
+	seeds := flag.Int("seeds", 3, "independent seeds to average over")
+	flag.Parse()
+
+	if err := run(*ssets, *generations, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "lattice_cooperation:", err)
+		os.Exit(1)
+	}
+}
+
+// runResult aggregates one topology's metrics over the seed sweep.
+type runResult struct {
+	coop       float64 // mean fraction of cooperating strategy states
+	assortment float64 // observed same-strategy edge fraction
+	expected   float64 // same-strategy edge fraction under random placement
+}
+
+func run(ssets, generations, seeds int) error {
+	fmt.Printf("IPD + Fermi, %d SSets x 4 agents, memory-one, noiseless, %d generations, %d seeds\n\n",
+		ssets, generations, seeds)
+
+	topologies := []string{"wellmixed", "torus:vonneumann", "torus:moore"}
+	t := stats.NewTable("Topology", "Cooperating states %", "Same-strategy edges %", "Random expectation %", "Clustering ratio")
+	for _, topo := range topologies {
+		agg := runResult{}
+		for seed := 0; seed < seeds; seed++ {
+			r, err := oneRun(topo, ssets, generations, uint64(1000+seed))
+			if err != nil {
+				return err
+			}
+			agg.coop += r.coop
+			agg.assortment += r.assortment
+			agg.expected += r.expected
+		}
+		n := float64(seeds)
+		ratio := 0.0
+		if agg.expected > 0 {
+			ratio = agg.assortment / agg.expected
+		}
+		t.AddRow(topo,
+			fmt.Sprintf("%.1f", 100*agg.coop/n),
+			fmt.Sprintf("%.1f", 100*agg.assortment/n),
+			fmt.Sprintf("%.1f", 100*agg.expected/n),
+			fmt.Sprintf("%.2f", ratio))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nnetwork reciprocity: on the torus, cooperative strategies survive by clustering —")
+	fmt.Println("the same-strategy edge fraction exceeds the random-placement expectation, and the")
+	fmt.Println("population keeps more cooperating states than the well-mixed baseline, where any")
+	fmt.Println("cooperator is exposed to every defector and clustering is undefined (every placement")
+	fmt.Println("is adjacent to every other, so the ratio stays near 1)")
+	return nil
+}
+
+func oneRun(topo string, ssets, generations int, seed uint64) (runResult, error) {
+	res, err := evogame.Simulate(context.Background(), evogame.SimulationConfig{
+		NumSSets:      ssets,
+		AgentsPerSSet: 4,
+		MemorySteps:   1,
+		Rounds:        evogame.DefaultRounds,
+		PCRate:        1,
+		MutationRate:  0.05,
+		Beta:          1,
+		Generations:   generations,
+		Seed:          seed,
+		EvalMode:      evogame.EvalIncremental,
+		Topology:      topo,
+	})
+	if err != nil {
+		return runResult{}, fmt.Errorf("topology %s seed %d: %w", topo, seed, err)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	out := runResult{coop: 1 - last.MeanDefectingStates}
+
+	// Relate the final strategy table to the interaction structure: the
+	// neighbor lists below are exactly the graph the run evolved on
+	// (same topology string, SSet count and seed).
+	neigh, err := evogame.TopologyNeighbors(topo, ssets, seed)
+	if err != nil {
+		return runResult{}, err
+	}
+	same, edges := 0, 0
+	for i, row := range neigh {
+		for _, j := range row {
+			if j <= i {
+				continue // count each undirected edge once
+			}
+			edges++
+			if res.FinalStrategies[i] == res.FinalStrategies[j] {
+				same++
+			}
+		}
+	}
+	if edges > 0 {
+		out.assortment = float64(same) / float64(edges)
+	}
+	// Expected same-strategy edge fraction if the same multiset of
+	// strategies were placed on the nodes uniformly at random: the
+	// probability that two distinct nodes hold equal strategies.
+	counts := make(map[string]int)
+	for _, s := range res.FinalStrategies {
+		counts[s]++
+	}
+	pairsSame, pairsTotal := 0, ssets*(ssets-1)/2
+	for _, c := range counts {
+		pairsSame += c * (c - 1) / 2
+	}
+	if pairsTotal > 0 {
+		out.expected = float64(pairsSame) / float64(pairsTotal)
+	}
+	return out, nil
+}

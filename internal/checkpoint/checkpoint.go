@@ -39,6 +39,12 @@ type Snapshot struct {
 	// UpdateRule is the name of the adoption rule the run used ("fermi",
 	// "imitation", "moran"); version-1 checkpoints restore as "fermi".
 	UpdateRule string
+	// Topology is the canonical spec string of the interaction graph the
+	// run evolved on ("wellmixed", "ring:4", "torus:moore",
+	// "smallworld:4:0.1"); checkpoints written before the topology layer
+	// (format versions 1 and 2) restore as "wellmixed", which is what those
+	// runs played by construction.
+	Topology string
 	// Strategies is the strategy table, one entry per SSet.
 	Strategies []strategy.Strategy
 	// Label is free-form metadata (experiment name, parameters).
@@ -46,9 +52,11 @@ type Snapshot struct {
 }
 
 // envelope is the gob-encoded on-disk representation.  Version 2 added the
-// Game, Payoff and UpdateRule fields; gob's name-based decoding leaves them
-// zero when reading a version-1 stream, and Read fills in the pre-registry
-// defaults.
+// Game, Payoff and UpdateRule fields; version 3 added Topology.  Gob's
+// name-based decoding leaves newer fields zero when reading an older
+// stream, and Read fills in the pre-registry / pre-topology defaults.  See
+// docs/CHECKPOINT.md for the field-by-field format and the compatibility
+// matrix.
 type envelope struct {
 	Version     int
 	Generation  int
@@ -57,16 +65,19 @@ type envelope struct {
 	Game        string
 	Payoff      [4]float64
 	UpdateRule  string
+	Topology    string
 	Label       string
 	Strategies  [][]byte
 }
 
-const formatVersion = 2
+const formatVersion = 3
 
-// defaultGame / defaultRule are the identities every pre-registry run had.
+// defaultGame / defaultRule / defaultTopology are the identities every
+// pre-registry, pre-topology run had.
 const (
-	defaultGame = "ipd"
-	defaultRule = "fermi"
+	defaultGame     = "ipd"
+	defaultRule     = "fermi"
+	defaultTopology = "wellmixed"
 )
 
 func standardPayoff() [4]float64 {
@@ -83,6 +94,9 @@ func Write(w io.Writer, s Snapshot) error {
 	}
 	if s.UpdateRule == "" {
 		s.UpdateRule = defaultRule
+	}
+	if s.Topology == "" {
+		s.Topology = defaultTopology
 	}
 	if s.Payoff == ([4]float64{}) {
 		// An all-zero payoff means "the scenario's canonical matrix"; record
@@ -102,6 +116,7 @@ func Write(w io.Writer, s Snapshot) error {
 		Game:        s.Game,
 		Payoff:      s.Payoff,
 		UpdateRule:  s.UpdateRule,
+		Topology:    s.Topology,
 		Label:       s.Label,
 		Strategies:  make([][]byte, len(s.Strategies)),
 	}
@@ -133,6 +148,11 @@ func Read(r io.Reader) (Snapshot, error) {
 		env.Payoff = standardPayoff()
 		env.UpdateRule = defaultRule
 	}
+	if env.Version <= 2 {
+		// Pre-topology checkpoints (v1 and v2) are well-mixed by
+		// construction.
+		env.Topology = defaultTopology
+	}
 	if len(env.Strategies) == 0 {
 		return Snapshot{}, fmt.Errorf("checkpoint: empty strategy table")
 	}
@@ -143,6 +163,7 @@ func Read(r io.Reader) (Snapshot, error) {
 		Game:        env.Game,
 		Payoff:      env.Payoff,
 		UpdateRule:  env.UpdateRule,
+		Topology:    env.Topology,
 		Label:       env.Label,
 		Strategies:  make([]strategy.Strategy, len(env.Strategies)),
 	}

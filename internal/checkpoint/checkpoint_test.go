@@ -108,6 +108,83 @@ func TestScenarioIdentityRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTopologyIdentityRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.Topology = "torus:moore"
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != "torus:moore" {
+		t.Fatalf("topology identity did not round trip: %q", got.Topology)
+	}
+	// Unset topology defaults to the paper's well-mixed population on write.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != "wellmixed" {
+		t.Fatalf("unset topology = %q, want wellmixed", got.Topology)
+	}
+}
+
+// envelopeV2 mirrors the gob envelope exactly as it was written by the
+// scenario-registry era (format version 2, no Topology field).
+type envelopeV2 struct {
+	Version     int
+	Generation  int
+	Seed        uint64
+	MemorySteps int
+	Game        string
+	Payoff      [4]float64
+	UpdateRule  string
+	Label       string
+	Strategies  [][]byte
+}
+
+// TestVersion2CheckpointRestoresWellMixed is the pre-topology compatibility
+// regression test: a version-2 stream must load with its scenario identity
+// intact and come back identified as a well-mixed run.
+func TestVersion2CheckpointRestoresWellMixed(t *testing.T) {
+	enc, err := strategy.Encode(strategy.WSLS(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := envelopeV2{
+		Version:     2,
+		Generation:  31337,
+		Seed:        7,
+		MemorySteps: 1,
+		Game:        "snowdrift",
+		Payoff:      [4]float64{3, 2, 4, 0},
+		UpdateRule:  "moran",
+		Label:       "pre-topology run",
+		Strategies:  [][]byte{enc},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("version-2 checkpoint failed to restore: %v", err)
+	}
+	if got.Game != "snowdrift" || got.UpdateRule != "moran" || got.Payoff != old.Payoff {
+		t.Fatalf("version-2 scenario identity lost: %+v", got)
+	}
+	if got.Topology != "wellmixed" {
+		t.Fatalf("version-2 topology = %q, want wellmixed", got.Topology)
+	}
+}
+
 // envelopeV1 mirrors the gob envelope exactly as it was written before the
 // scenario registry existed (format version 1, no Game/Payoff/UpdateRule
 // fields).  Gob matches fields by name, so encoding this struct reproduces
@@ -156,6 +233,9 @@ func TestVersion1CheckpointStillRestores(t *testing.T) {
 	}
 	if got.Game != "ipd" || got.UpdateRule != "fermi" {
 		t.Fatalf("version-1 scenario identity = %q/%q, want ipd/fermi", got.Game, got.UpdateRule)
+	}
+	if got.Topology != "wellmixed" {
+		t.Fatalf("version-1 topology = %q, want wellmixed", got.Topology)
 	}
 	std := game.Standard()
 	if got.Payoff != [4]float64{std.Reward, std.Sucker, std.Temptation, std.Punishment} {

@@ -7,6 +7,7 @@ import (
 	"evogame/internal/game"
 	"evogame/internal/rng"
 	"evogame/internal/strategy"
+	"evogame/internal/topology"
 )
 
 func newEngine(t testing.TB, noise float64) *game.Engine {
@@ -268,7 +269,7 @@ func TestIncrementalMatrixMatchesBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := testTable(12, 5)
-	m, err := NewIncrementalMatrix(cache, table, 0, len(table))
+	m, err := NewIncrementalMatrix(cache, nil, table, 0, len(table))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestIncrementalMatrixUpdateStaysExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := testTable(10, 9)
-	m, err := NewIncrementalMatrix(cache, table, 0, len(table))
+	m, err := NewIncrementalMatrix(cache, nil, table, 0, len(table))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestIncrementalMatrixLazyRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := []strategy.Strategy{strategy.TFT(1), strategy.AllD(1), strategy.WSLS(1), strategy.AllC(1)}
-	m, err := NewIncrementalMatrix(cache, table, 0, len(table))
+	m, err := NewIncrementalMatrix(cache, nil, table, 0, len(table))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestIncrementalMatrixBlockRange(t *testing.T) {
 	}
 	table := testTable(9, 13)
 	lo, hi := 3, 7
-	m, err := NewIncrementalMatrix(cache, table, lo, hi)
+	m, err := NewIncrementalMatrix(cache, nil, table, lo, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,22 +406,22 @@ func TestIncrementalMatrixValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := testTable(4, 1)
-	if _, err := NewIncrementalMatrix(nil, table, 0, 4); err == nil {
+	if _, err := NewIncrementalMatrix(nil, nil, table, 0, 4); err == nil {
 		t.Fatal("accepted a nil cache")
 	}
-	if _, err := NewIncrementalMatrix(cache, table, -1, 4); err == nil {
+	if _, err := NewIncrementalMatrix(cache, nil, table, -1, 4); err == nil {
 		t.Fatal("accepted a negative lo")
 	}
-	if _, err := NewIncrementalMatrix(cache, table, 2, 1); err == nil {
+	if _, err := NewIncrementalMatrix(cache, nil, table, 2, 1); err == nil {
 		t.Fatal("accepted hi < lo")
 	}
-	if _, err := NewIncrementalMatrix(cache, table, 0, 5); err == nil {
+	if _, err := NewIncrementalMatrix(cache, nil, table, 0, 5); err == nil {
 		t.Fatal("accepted hi beyond the table")
 	}
-	if _, err := NewIncrementalMatrix(cache, []strategy.Strategy{nil}, 0, 1); err == nil {
+	if _, err := NewIncrementalMatrix(cache, nil, []strategy.Strategy{nil}, 0, 1); err == nil {
 		t.Fatal("accepted a nil strategy")
 	}
-	m, err := NewIncrementalMatrix(cache, table, 0, 4)
+	m, err := NewIncrementalMatrix(cache, nil, table, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,5 +433,86 @@ func TestIncrementalMatrixValidation(t *testing.T) {
 	}
 	if m.Len() != 4 {
 		t.Fatalf("Len() = %d", m.Len())
+	}
+}
+
+// TestIncrementalMatrixGraphRestricted covers the degree-indexed graph
+// rows: fitness sums only graph neighbors, Update delta-updates only
+// adjacent built rows, and both stay equal to a brute-force neighbor sum
+// through a churn of strategy changes.
+func TestIncrementalMatrixGraphRestricted(t *testing.T) {
+	eng := newEngine(t, 0)
+	cache, err := NewPairCache(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := testTable(12, 5)
+	spec, err := topology.Parse("ring:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(len(table), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruteNeighbor := func(i int) float64 {
+		total := 0.0
+		for _, j := range topology.Neighbors(g, i) {
+			res, err := eng.Play(table[i], table[j], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.FitnessA
+		}
+		return total
+	}
+	m, err := NewIncrementalMatrix(cache, g, table, 0, len(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table {
+		got, err := m.Fitness(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteNeighbor(i); got != want {
+			t.Fatalf("row %d: graph matrix %v, brute force %v", i, got, want)
+		}
+	}
+	src := rng.New(77)
+	for step := 0; step < 30; step++ {
+		idx := src.Intn(len(table))
+		table[idx] = strategy.RandomPure(1, src)
+		if err := m.Update(idx, table[idx]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range table {
+			got, err := m.Fitness(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := bruteNeighbor(i); got != want {
+				t.Fatalf("step %d row %d: graph matrix %v, brute force %v", step, i, got, want)
+			}
+		}
+	}
+	// The complete graph must collapse to the dense well-mixed path and
+	// agree with the all-pairs brute force.
+	wm, err := (topology.Spec{}).Build(len(table), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewIncrementalMatrix(cache, wm, table, 0, len(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table {
+		got, err := dense.Fitness(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteFitness(t, eng, table, i); got != want {
+			t.Fatalf("complete-graph row %d: %v, want %v", i, got, want)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"evogame/internal/rng"
 	"evogame/internal/sset"
 	"evogame/internal/strategy"
+	"evogame/internal/topology"
 	"evogame/internal/trace"
 )
 
@@ -117,6 +118,13 @@ type Config struct {
 	// paper's Fermi pairwise-comparison rule (see dynamics.Lookup).  Only
 	// rank 0 applies it, so the choreography is identical for every rule.
 	UpdateRule dynamics.Rule
+	// Topology selects the interaction graph (see topology.Parse); the zero
+	// value is the paper's well-mixed population, bit-identical per seed to
+	// the pre-topology engine.  Every rank rebuilds the identical graph
+	// deterministically from Seed, so no adjacency data crosses the wire:
+	// the Nature Agent draws learning pairs from it and the SSet ranks
+	// restrict their game play to its edges.
+	Topology topology.Spec
 
 	// PCRate, MutationRate and Beta configure the Nature Agent (zero values
 	// select the paper's defaults).
@@ -346,6 +354,13 @@ func Run(cfg Config) (Result, error) {
 // strategy table, selects the evolutionary events, and broadcasts updates.
 func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, RankReport, error) {
 	rec := trace.NewRecorder()
+	// Built from the seed directly (not from the root stream), so the
+	// topology layer leaves the nature/init streams — and therefore every
+	// pre-topology trajectory — untouched.
+	graph, err := cfg.Topology.Build(cfg.NumSSets, cfg.Seed)
+	if err != nil {
+		return nil, nature.Stats{}, RankReport{}, err
+	}
 	root := rng.New(cfg.Seed)
 	natSrc := root.Split()
 	initSrc := root.Split()
@@ -356,6 +371,7 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 		Beta:         cfg.Beta,
 		MemorySteps:  cfg.MemorySteps,
 		Rule:         cfg.UpdateRule,
+		Topology:     graph,
 	}, natSrc)
 	if err != nil {
 		return nil, nature.Stats{}, RankReport{}, err
@@ -471,6 +487,13 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	rec := trace.NewRecorder()
 	lo, hi := blockRange(c.Rank(), cfg.NumSSets, cfg.Ranks)
 
+	// Each rank rebuilds the interaction graph deterministically from the
+	// seed; it is identical on every rank and on the Nature Agent.
+	graph, err := cfg.Topology.Build(cfg.NumSSets, cfg.Seed)
+	if err != nil {
+		return RankReport{}, err
+	}
+
 	engine, err := game.NewEngine(game.EngineConfig{
 		Game:        cfg.Game,
 		Rounds:      cfg.Rounds,
@@ -530,7 +553,7 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 			return RankReport{}, err
 		}
 		if evalMode == fitness.EvalIncremental {
-			matrix, err = fitness.NewIncrementalMatrix(cache, table, lo, hi)
+			matrix, err = fitness.NewIncrementalMatrix(cache, graph, table, lo, hi)
 			if err != nil {
 				return RankReport{}, err
 			}
@@ -566,11 +589,10 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 					return nil
 				}
 				for li, s := range locals {
-					opponents := make([]strategy.Strategy, 0, cfg.NumSSets-1)
-					for j := 0; j < cfg.NumSSets; j++ {
-						if j != s.ID() {
-							opponents = append(opponents, table[j])
-						}
+					deg := graph.Degree(s.ID())
+					opponents := make([]strategy.Strategy, deg)
+					for k := 0; k < deg; k++ {
+						opponents[k] = table[graph.Neighbor(s.ID(), k)]
 					}
 					var src *rng.Source
 					if cfg.Noise > 0 {

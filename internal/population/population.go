@@ -21,6 +21,7 @@ import (
 	"evogame/internal/rng"
 	"evogame/internal/sset"
 	"evogame/internal/strategy"
+	"evogame/internal/topology"
 )
 
 // FitnessMode selects how the engine computes SSet fitness.
@@ -77,6 +78,13 @@ type Config struct {
 	// strategy; nil is the paper's Fermi pairwise-comparison rule.  See
 	// dynamics.Lookup for the registry of built-in rules.
 	UpdateRule dynamics.Rule
+	// Topology selects the interaction graph: which SSets meet in game play
+	// (fitness is the summed payoff against graph neighbors only) and which
+	// pairs the Nature Agent can select for learning.  The zero value is the
+	// paper's well-mixed population, bit-identical per seed to the
+	// pre-topology engine.  The graph is built deterministically from Seed;
+	// see topology.Parse for the registry of built-in families.
+	Topology topology.Spec
 	// PCRate, MutationRate and Beta configure the Nature Agent; zero values
 	// select the paper's defaults (0.1, 0.05, β=1).
 	PCRate       float64
@@ -183,6 +191,7 @@ type Result struct {
 type Model struct {
 	cfg    Config
 	engine *game.Engine
+	graph  topology.Graph
 	nat    *nature.Agent
 	table  *nature.Table
 	ssets  []*sset.SSet
@@ -212,6 +221,13 @@ func New(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The graph is built from the seed directly (not from the root stream)
+	// so adding the topology layer leaves the nature/init/game streams — and
+	// therefore every pre-topology trajectory — untouched.
+	graph, err := cfg.Topology.Build(cfg.NumSSets, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
 	natSrc := root.Split()
 	initSrc := root.Split()
@@ -223,6 +239,7 @@ func New(cfg Config) (*Model, error) {
 		Beta:         cfg.Beta,
 		MemorySteps:  cfg.MemorySteps,
 		Rule:         cfg.UpdateRule,
+		Topology:     graph,
 	}, natSrc)
 	if err != nil {
 		return nil, err
@@ -247,7 +264,7 @@ func New(cfg Config) (*Model, error) {
 		}
 		ssets[i] = s
 	}
-	m := &Model{cfg: cfg, engine: engine, nat: nat, table: table, ssets: ssets, src: gameSrc}
+	m := &Model{cfg: cfg, engine: engine, graph: graph, nat: nat, table: table, ssets: ssets, src: gameSrc}
 	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
 	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, initial) {
 		cache, err := fitness.NewPairCache(engine)
@@ -256,7 +273,7 @@ func New(cfg Config) (*Model, error) {
 		}
 		m.cache = cache
 		if evalMode == fitness.EvalIncremental {
-			mat, err := fitness.NewIncrementalMatrix(cache, initial, 0, cfg.NumSSets)
+			mat, err := fitness.NewIncrementalMatrix(cache, graph, initial, 0, cfg.NumSSets)
 			if err != nil {
 				return nil, err
 			}
@@ -265,6 +282,10 @@ func New(cfg Config) (*Model, error) {
 	}
 	return m, nil
 }
+
+// Topology returns the interaction graph the model runs on (the complete
+// graph for a well-mixed population).
+func (m *Model) Topology() topology.Graph { return m.graph }
 
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
@@ -303,7 +324,8 @@ func (m *Model) FractionOf(s strategy.Strategy) float64 {
 
 // fitnessPair evaluates the relative fitness of the two SSets selected for a
 // pairwise comparison.  Each SSet's fitness is the summed payoff of its
-// strategy against the strategy of every other SSet in the population.
+// strategy against the strategies of its topology neighbors (every other
+// SSet in the population for the default well-mixed graph).
 func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
 	if m.matrix != nil {
 		fa, err := m.matrix.Fitness(a)
@@ -352,17 +374,27 @@ func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
 	}
 }
 
-// fitnessViaPairCache sums SSet i's payoff against every other SSet through
-// the persistent pair cache (EvalCached): each distinct strategy pair is
-// played at most once per run.
+// opponents returns the strategies of SSet i's topology neighbors in
+// ascending index order — for the well-mixed graph, every other SSet,
+// exactly the pre-topology opponent list.
+func (m *Model) opponents(i int) []strategy.Strategy {
+	deg := m.graph.Degree(i)
+	opps := make([]strategy.Strategy, deg)
+	for k := 0; k < deg; k++ {
+		opps[k] = m.table.Get(m.graph.Neighbor(i, k))
+	}
+	return opps
+}
+
+// fitnessViaPairCache sums SSet i's payoff against each of its neighbors
+// through the persistent pair cache (EvalCached): each distinct strategy
+// pair is played at most once per run.
 func (m *Model) fitnessViaPairCache(i int) (float64, error) {
 	my := m.table.Get(i)
 	total := 0.0
-	for j := 0; j < m.table.Len(); j++ {
-		if j == i {
-			continue
-		}
-		res, err := m.cache.Play(my, m.table.Get(j), nil)
+	deg := m.graph.Degree(i)
+	for k := 0; k < deg; k++ {
+		res, err := m.cache.Play(my, m.table.Get(m.graph.Neighbor(i, k)), nil)
 		if err != nil {
 			return 0, err
 		}
@@ -371,14 +403,9 @@ func (m *Model) fitnessViaPairCache(i int) (float64, error) {
 	return total, nil
 }
 
-// fitnessExact plays SSet i against every other SSet's strategy explicitly.
+// fitnessExact plays SSet i against each neighbor's strategy explicitly.
 func (m *Model) fitnessExact(i int) (float64, error) {
-	opponents := make([]strategy.Strategy, 0, m.table.Len()-1)
-	for j := 0; j < m.table.Len(); j++ {
-		if j != i {
-			opponents = append(opponents, m.table.Get(j))
-		}
-	}
+	opponents := m.opponents(i)
 	m.games += int64(len(opponents))
 	return m.ssets[i].Fitness(m.engine, opponents, sset.FitnessOptions{
 		Workers: m.cfg.Workers,
@@ -392,11 +419,9 @@ func (m *Model) fitnessCached(i int, cache map[[2]string]float64) (float64, erro
 	my := m.table.Get(i)
 	myKey := my.String()
 	total := 0.0
-	for j := 0; j < m.table.Len(); j++ {
-		if j == i {
-			continue
-		}
-		opp := m.table.Get(j)
+	deg := m.graph.Degree(i)
+	for k := 0; k < deg; k++ {
+		opp := m.table.Get(m.graph.Neighbor(i, k))
 		key := [2]string{myKey, opp.String()}
 		payoff, ok := cache[key]
 		if !ok {

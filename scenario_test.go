@@ -1,11 +1,12 @@
 package evogame
 
-// Equivalence tests for the pluggable game & update-rule layer: every
-// registered (game, update rule) combination must produce identical
-// trajectories across both engines and all fitness evaluation modes, the
-// default scenario must remain bit-identical to a zero-value configuration,
-// and non-integer payoff matrices must transparently fall back from the
-// incremental mode without changing the dynamics.
+// Equivalence tests for the pluggable game, update-rule and topology
+// layers: every registered (game, update rule) combination and every
+// built-in topology must produce identical trajectories across both
+// engines and all fitness evaluation modes, the default scenario must
+// remain bit-identical to a zero-value configuration, and non-integer
+// payoff matrices must transparently fall back from the incremental mode
+// without changing the dynamics.
 
 import (
 	"context"
@@ -173,6 +174,158 @@ func TestScenarioMatrixEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestTopologyMatrixEquivalence is the cross-engine acceptance check for
+// the structured-population layer: for every built-in topology at
+// S ∈ {32, 128}, all three eval modes must reproduce the serial EvalFull
+// trajectory bit for bit, and the distributed engine must agree with the
+// serial one.  (Both engines rebuild the graph deterministically from the
+// seed, so any divergence in construction or neighbor iteration order
+// would surface here.)
+func TestTopologyMatrixEquivalence(t *testing.T) {
+	topologies := []string{"wellmixed", "ring:4", "torus:vonneumann", "torus:moore", "smallworld:4:0.2"}
+	for _, ssets := range []int{32, 128} {
+		gens := 50
+		if ssets == 128 {
+			if testing.Short() {
+				continue
+			}
+			gens = 30
+		}
+		for _, topo := range topologies {
+			ssets, gens, topo := ssets, gens, topo
+			t.Run(fmt.Sprintf("S%d/%s", ssets, topo), func(t *testing.T) {
+				base := SimulationConfig{
+					NumSSets: ssets, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 20,
+					PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: gens, Seed: 59,
+					Topology: topo,
+				}
+				serial := make(map[EvalMode]SimulationResult)
+				for _, mode := range allEvalModes {
+					cfg := base
+					cfg.EvalMode = mode
+					res, err := Simulate(context.Background(), cfg)
+					if err != nil {
+						t.Fatalf("serial %v: %v", mode, err)
+					}
+					serial[mode] = res
+				}
+				want := serial[EvalFull]
+				for _, mode := range []EvalMode{EvalCached, EvalIncremental} {
+					got := serial[mode]
+					if fmt.Sprint(got.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+						t.Fatalf("serial %v: final strategies differ from EvalFull", mode)
+					}
+					if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
+						t.Fatalf("serial %v: event counts differ from EvalFull", mode)
+					}
+				}
+
+				for _, mode := range allEvalModes {
+					res, err := SimulateParallel(ParallelConfig{
+						Ranks: 5, OptimizationLevel: 3,
+						NumSSets: base.NumSSets, AgentsPerSSet: base.AgentsPerSSet,
+						MemorySteps: base.MemorySteps, Rounds: base.Rounds,
+						PCRate: base.PCRate, MutationRate: base.MutationRate, Beta: base.Beta,
+						Generations: base.Generations, Seed: base.Seed,
+						Topology: topo, EvalMode: mode,
+					})
+					if err != nil {
+						t.Fatalf("parallel %v: %v", mode, err)
+					}
+					if fmt.Sprint(res.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+						t.Fatalf("parallel %v: serial and distributed engines diverge", mode)
+					}
+					if res.PCEvents != want.PCEvents || res.Adoptions != want.Adoptions || res.Mutations != want.Mutations {
+						t.Fatalf("parallel %v: event counts diverge from serial", mode)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTopologyRegistryFacade covers the topology registry surface of the
+// facade: the registry lists the built-ins, DescribeTopology resolves
+// parameterized selections, TopologyNeighbors matches the graph a
+// simulation runs on, and invalid selections are rejected by both engines.
+func TestTopologyRegistryFacade(t *testing.T) {
+	topos := Topologies()
+	for _, want := range []string{"wellmixed", "ring", "torus", "smallworld"} {
+		found := false
+		for _, name := range topos {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Topologies() = %v, missing %q", topos, want)
+		}
+	}
+	info, err := DescribeTopology("ring:8")
+	if err != nil || info.Name != "ring" || info.Canonical != "ring:8" {
+		t.Errorf("DescribeTopology(ring:8) = %+v, %v", info, err)
+	}
+	if _, err := DescribeTopology("hypercube"); err == nil {
+		t.Error("DescribeTopology accepted an unknown topology")
+	}
+	neigh, err := TopologyNeighbors("ring:4", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(neigh[0]) != "[1 2 8 9]" {
+		t.Errorf("TopologyNeighbors(ring:4)[0] = %v, want [1 2 8 9]", neigh[0])
+	}
+	for name, cfgTopo := range map[string]string{
+		"unknown":    "hypercube",
+		"bad degree": "ring:5",
+		"bad params": "wellmixed:3",
+	} {
+		if _, err := Simulate(context.Background(), SimulationConfig{
+			NumSSets: 8, AgentsPerSSet: 1, MemorySteps: 1, Generations: 1, Topology: cfgTopo,
+		}); err == nil {
+			t.Errorf("Simulate accepted %s topology %q", name, cfgTopo)
+		}
+	}
+	if _, err := SimulateParallel(ParallelConfig{
+		Ranks: 3, NumSSets: 8, AgentsPerSSet: 1, MemorySteps: 1, Generations: 1, Topology: "hypercube",
+	}); err == nil {
+		t.Error("SimulateParallel accepted an unknown topology")
+	}
+}
+
+// TestTopologyChangesDynamics is the sanity counterpart: a structured
+// topology must actually change the trajectory relative to well-mixed
+// (same seed, same everything else), and explicit "wellmixed" must match
+// the zero-value default bit for bit.
+func TestTopologyChangesDynamics(t *testing.T) {
+	base := SimulationConfig{
+		NumSSets: 16, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 30,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 80, Seed: 5,
+	}
+	def, err := Simulate(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Topology = "wellmixed"
+	wm, err := Simulate(context.Background(), explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(def) != fmt.Sprint(wm) {
+		t.Error("explicit wellmixed differs from the zero-value topology")
+	}
+	ring := base
+	ring.Topology = "ring:4"
+	rr, err := Simulate(context.Background(), ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rr.FinalStrategies) == fmt.Sprint(def.FinalStrategies) {
+		t.Error("ring:4 produced the same trajectory as well-mixed")
 	}
 }
 

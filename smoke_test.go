@@ -28,6 +28,9 @@ var smokeTargets = []struct {
 	{"evogame-scenario", "./cmd/evogame", []string{
 		"-game", "snowdrift", "-rule", "moran", "-ssets", "12", "-agents", "2",
 		"-rounds", "20", "-generations", "40", "-noise", "0", "-eval", "incremental"}},
+	{"evogame-topology", "./cmd/evogame", []string{
+		"-topology", "torus:moore", "-ssets", "16", "-agents", "2", "-rounds", "20",
+		"-generations", "40", "-noise", "0", "-eval", "incremental"}},
 	{"validate", "./cmd/validate", []string{
 		"-ssets", "12", "-agents", "2", "-generations", "200", "-k", "2"}},
 	{"benchtables", "./cmd/benchtables", []string{"-table", "4"}},
@@ -38,6 +41,8 @@ var smokeTargets = []struct {
 	{"scaling_study", "./examples/scaling_study", nil},
 	{"snowdrift", "./examples/snowdrift", []string{
 		"-ssets", "16", "-generations", "400", "-seeds", "2"}},
+	{"lattice_cooperation", "./examples/lattice_cooperation", []string{
+		"-ssets", "16", "-generations", "400", "-seeds", "1"}},
 	{"wsls_emergence", "./examples/wsls_emergence", []string{
 		"-ssets", "16", "-generations", "500"}},
 }
