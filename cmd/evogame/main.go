@@ -7,7 +7,8 @@
 //
 //	evogame -ssets 256 -memory 1 -generations 50000 -noise 0.05
 //	evogame -parallel -ranks 9 -ssets 256 -memory 6 -generations 100
-//	evogame -ssets 128 -generations 20000 -checkpoint run.ckpt
+//	evogame -ssets 128 -generations 20000 -ckpt-every 5000 -checkpoint run.ckpt
+//	evogame -resume run.ckpt -generations 20000 -checkpoint run.ckpt
 //	evogame -game snowdrift -rule moran -ssets 128 -noise 0 -eval incremental
 //	evogame -game generic -payoff 5,1,6,2 -generations 10000
 //	evogame -topology torus:moore -ssets 256 -noise 0 -generations 50000
@@ -27,7 +28,6 @@ import (
 
 	"evogame/internal/checkpoint"
 	"evogame/internal/stats"
-	"evogame/internal/strategy"
 )
 
 func main() {
@@ -48,7 +48,9 @@ func main() {
 		generations = flag.Int("generations", 10000, "generations to simulate")
 		seed        = flag.Uint64("seed", 2013, "random seed")
 		sampleEvery = flag.Int("sample-every", 0, "record an abundance sample every N generations (0 = final only)")
-		ckptPath    = flag.String("checkpoint", "", "write the final population to this checkpoint file")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable checkpoint of the final population to this file")
+		ckptEvery   = flag.Int("ckpt-every", 0, "also write a mid-run checkpoint to the -checkpoint file every N generations (0 = final only)")
+		resumePath  = flag.String("resume", "", "resume a run from this checkpoint file; -generations counts additional generations and the recorded seed/population/scenario replace the corresponding flags")
 		clusters    = flag.Int("clusters", 0, "cluster the final population into K groups (0 = skip)")
 		evalName    = flag.String("eval", "full", "fitness evaluation mode: full, cached or incremental (noiseless runs only; noisy runs fall back to full)")
 		gameName    = flag.String("game", "ipd", "game scenario: "+strings.Join(evogame.Games(), ", "))
@@ -72,7 +74,8 @@ func main() {
 		parallel: *useParallel, ranks: *ranks, workers: *workers, optLevel: *optLevel,
 		ssets: *ssets, agents: *agents, memory: *memory, rounds: *rounds, noise: *noise,
 		pcRate: *pcRate, muRate: *muRate, beta: *beta, generations: *generations,
-		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, clusters: *clusters,
+		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
+		resumePath: *resumePath, clusters: *clusters,
 		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
 		topology: *topoName,
 	}); err != nil {
@@ -112,6 +115,8 @@ type runOptions struct {
 	seed                        uint64
 	sampleEvery                 int
 	ckptPath                    string
+	ckptEvery                   int
+	resumePath                  string
 	clusters                    int
 	evalMode                    evogame.EvalMode
 	game, rule                  string
@@ -119,9 +124,42 @@ type runOptions struct {
 	topology                    string
 }
 
+// adoptCheckpointIdentity replaces the identity-bearing options with the
+// values the checkpoint records, so a resume needs no flag archaeology:
+// seed, population size, memory depth, game, payoff, update rule and
+// topology all come from the file.  Parameters a checkpoint does not record
+// (noise, rounds, rates, engine selection) keep their flag values and must
+// match the original run for a bit-identical continuation.
+func (o *runOptions) adoptCheckpointIdentity(snap checkpoint.Snapshot) {
+	o.seed = snap.Seed
+	o.ssets = len(snap.Strategies)
+	o.memory = snap.MemorySteps
+	o.game = snap.Game
+	o.rule = snap.UpdateRule
+	o.topology = snap.Topology
+	o.payoff = append([]float64(nil), snap.Payoff[:]...)
+}
+
 func run(o runOptions) error {
 	start := time.Now()
 	var finalStrategies []string
+
+	if o.ckptEvery > 0 && o.ckptPath == "" {
+		return fmt.Errorf("-ckpt-every requires -checkpoint")
+	}
+	if o.resumePath != "" {
+		snap, err := checkpoint.Load(o.resumePath)
+		if err != nil {
+			return err
+		}
+		o.adoptCheckpointIdentity(snap)
+		kind := "resumable"
+		if !snap.Resume {
+			kind = "final-only (warm start)"
+		}
+		fmt.Printf("resuming %s checkpoint %s: generation %d, %d SSets, memory-%d, game %s, rule %s, topology %s\n",
+			kind, o.resumePath, snap.Generation, o.ssets, o.memory, o.game, o.rule, o.topology)
+	}
 
 	topo, err := evogame.DescribeTopology(o.topology)
 	if err != nil {
@@ -129,13 +167,21 @@ func run(o runOptions) error {
 	}
 
 	if o.parallel {
-		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
+		cfg := evogame.ParallelConfig{
 			Ranks: o.ranks, WorkersPerRank: o.workers, OptimizationLevel: o.optLevel,
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
 			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
-		})
+			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
+			CheckpointLabel: "evogame CLI run",
+		}
+		var res evogame.ParallelResult
+		if o.resumePath != "" {
+			res, err = evogame.ResumeParallelSimulation(o.resumePath, cfg)
+		} else {
+			res, err = evogame.SimulateParallel(cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -152,13 +198,21 @@ func run(o runOptions) error {
 		}
 		fmt.Print(t.String())
 	} else {
-		res, err := evogame.Simulate(context.Background(), evogame.SimulationConfig{
+		cfg := evogame.SimulationConfig{
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
 			EvalMode: o.evalMode, Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
-			Topology: o.topology,
-		})
+			Topology:       o.topology,
+			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
+			CheckpointLabel: "evogame CLI run",
+		}
+		var res evogame.SimulationResult
+		if o.resumePath != "" {
+			res, err = evogame.ResumeSimulation(context.Background(), o.resumePath, cfg)
+		} else {
+			res, err = evogame.Simulate(context.Background(), cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -187,33 +241,11 @@ func run(o runOptions) error {
 		fmt.Print(ct.String())
 	}
 
+	// The engines write the checkpoint themselves: the typed strategy table
+	// (mixed strategies survive, unlike the old re-parse of the rendered
+	// strings), the generation counter actually reached, and the RNG stream
+	// states that make -resume bit-identical.
 	if o.ckptPath != "" {
-		strats := make([]strategy.Strategy, len(finalStrategies))
-		for i, s := range finalStrategies {
-			p, err := strategy.ParsePure(o.memory, s)
-			if err != nil {
-				return err
-			}
-			strats[i] = p
-		}
-		snap := checkpoint.Snapshot{
-			Generation:  o.generations,
-			Seed:        o.seed,
-			MemorySteps: o.memory,
-			Game:        o.game,
-			UpdateRule:  o.rule,
-			Topology:    topo.Canonical,
-			Strategies:  strats,
-			Label:       "evogame CLI run",
-		}
-		// A zero Payoff is backfilled with the scenario's canonical matrix by
-		// checkpoint.Write; only an explicit -payoff override needs recording.
-		if len(o.payoff) == 4 {
-			copy(snap.Payoff[:], o.payoff)
-		}
-		if err := checkpoint.Save(o.ckptPath, snap); err != nil {
-			return err
-		}
 		fmt.Printf("\ncheckpoint written to %s\n", o.ckptPath)
 	}
 	return nil

@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
@@ -270,6 +271,18 @@ type SimulationConfig struct {
 	// the pre-topology engines.  See Topologies() for the registry and
 	// DescribeTopology for the per-family parameter syntax.
 	Topology string
+	// CheckpointPath, when non-empty, makes the run write a resumable
+	// checkpoint of its final state to this file; combined with
+	// CheckpointEvery it also receives periodic mid-run checkpoints.
+	// ResumeSimulation continues a run from such a file bit-identically.
+	CheckpointPath string
+	// CheckpointEvery writes a mid-run checkpoint to CheckpointPath every
+	// this many generations (0 = final state only).  Each write atomically
+	// replaces the previous one, so an interrupted run can always be
+	// resumed from the last completed checkpoint.
+	CheckpointEvery int
+	// CheckpointLabel is free-form metadata recorded in the checkpoint.
+	CheckpointLabel string
 }
 
 // Sample is one abundance observation of the population.
@@ -339,6 +352,10 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		Seed:          c.Seed,
 		SampleEvery:   c.SampleEvery,
 		EvalMode:      evalMode,
+
+		CheckpointPath:  c.CheckpointPath,
+		CheckpointEvery: c.CheckpointEvery,
+		CheckpointLabel: c.CheckpointLabel,
 	}
 	if len(c.InitialStrategies) > 0 {
 		strats, err := parseStrategies(c.MemorySteps, c.InitialStrategies)
@@ -380,7 +397,48 @@ func Simulate(ctx context.Context, cfg SimulationConfig) (SimulationResult, erro
 	if err != nil {
 		return SimulationResult{}, err
 	}
-	res, err := model.Run(ctx, cfg.Generations)
+	return runSerial(ctx, model, cfg.Generations)
+}
+
+// ResumeSimulation continues a serial run from a checkpoint file for
+// cfg.Generations additional generations.  The configuration must describe
+// the original run (the snapshot's recorded identity — population shape,
+// seed, game, payoff, update rule and topology — is verified against it;
+// parameters the snapshot does not record, such as noise and rounds, must
+// simply be passed identically), and InitialStrategies must be empty: the
+// strategy table comes from the checkpoint, typed, so mixed-strategy
+// populations survive the round trip.
+//
+// For a resumable checkpoint (format v4, written by the serial engine) the
+// continuation is bit-identical: checkpointing after N generations and
+// resuming for N more reproduces exactly the strategy table and event
+// counts of an uninterrupted 2N-generation run.  A final-only checkpoint
+// (format v3 or older, which predates the recorded RNG streams) still
+// restores as a warm start — the typed strategy table and generation
+// counter carry over, but the random streams restart from cfg.Seed.
+func ResumeSimulation(ctx context.Context, path string, cfg SimulationConfig) (SimulationResult, error) {
+	if len(cfg.InitialStrategies) > 0 {
+		return SimulationResult{}, fmt.Errorf("evogame: ResumeSimulation takes the strategy table from the checkpoint; InitialStrategies must be empty")
+	}
+	internal, err := cfg.toInternal()
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return SimulationResult{}, fmt.Errorf("evogame: %w", err)
+	}
+	model, err := population.Restore(internal, snap)
+	if err != nil {
+		return SimulationResult{}, fmt.Errorf("evogame: %w", err)
+	}
+	return runSerial(ctx, model, cfg.Generations)
+}
+
+// runSerial drives a built serial model and maps its result onto the
+// facade's types; Simulate and ResumeSimulation share it.
+func runSerial(ctx context.Context, model *population.Model, generations int) (SimulationResult, error) {
+	res, err := model.Run(ctx, generations)
 	if err != nil {
 		return SimulationResult{}, err
 	}
@@ -443,6 +501,13 @@ type ParallelConfig struct {
 	Payoff     []float64
 	UpdateRule string
 	Topology   string
+	// CheckpointPath, CheckpointEvery and CheckpointLabel configure
+	// resumable checkpoints exactly as in SimulationConfig; the Nature
+	// Agent (rank 0) writes them.  ResumeParallelSimulation continues a
+	// run from such a file bit-identically.
+	CheckpointPath  string
+	CheckpointEvery int
+	CheckpointLabel string
 }
 
 // RankSummary reports one rank's work and communication.
@@ -473,54 +538,99 @@ type ParallelResult struct {
 	Ranks          []RankSummary
 }
 
-// SimulateParallel runs the distributed engine.
-func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
-	if cfg.OptimizationLevel < 0 || cfg.OptimizationLevel > int(parallel.OptFusedFitness) {
-		return ParallelResult{}, fmt.Errorf("evogame: optimization level %d out of range [0,3]", cfg.OptimizationLevel)
+// toInternal maps the facade's parallel configuration onto the internal
+// engine configuration, resolving scenario names and eval mode.
+func (c ParallelConfig) toInternal() (parallel.Config, error) {
+	if c.OptimizationLevel < 0 || c.OptimizationLevel > int(parallel.OptFusedFitness) {
+		return parallel.Config{}, fmt.Errorf("evogame: optimization level %d out of range [0,3]", c.OptimizationLevel)
 	}
-	rounds := cfg.Rounds
+	rounds := c.Rounds
 	if rounds == 0 {
 		rounds = game.DefaultRounds
 	}
-	evalMode, err := cfg.EvalMode.toInternal()
+	evalMode, err := c.EvalMode.toInternal()
 	if err != nil {
-		return ParallelResult{}, err
+		return parallel.Config{}, err
 	}
-	spec, rule, err := resolveScenario(cfg.Game, cfg.Payoff, cfg.UpdateRule)
+	spec, rule, err := resolveScenario(c.Game, c.Payoff, c.UpdateRule)
 	if err != nil {
-		return ParallelResult{}, err
+		return parallel.Config{}, err
 	}
-	topo, err := topology.Parse(cfg.Topology)
+	topo, err := topology.Parse(c.Topology)
 	if err != nil {
-		return ParallelResult{}, fmt.Errorf("evogame: %w", err)
+		return parallel.Config{}, fmt.Errorf("evogame: %w", err)
 	}
 	internal := parallel.Config{
-		Ranks:               cfg.Ranks,
-		WorkersPerRank:      cfg.WorkersPerRank,
+		Ranks:               c.Ranks,
+		WorkersPerRank:      c.WorkersPerRank,
 		EvalMode:            evalMode,
 		Game:                spec,
 		UpdateRule:          rule,
 		Topology:            topo,
-		NumSSets:            cfg.NumSSets,
-		AgentsPerSSet:       cfg.AgentsPerSSet,
-		MemorySteps:         cfg.MemorySteps,
+		NumSSets:            c.NumSSets,
+		AgentsPerSSet:       c.AgentsPerSSet,
+		MemorySteps:         c.MemorySteps,
 		Rounds:              rounds,
-		Noise:               cfg.Noise,
-		PCRate:              cfg.PCRate,
-		MutationRate:        cfg.MutationRate,
-		Beta:                cfg.Beta,
-		Generations:         cfg.Generations,
-		Seed:                cfg.Seed,
-		OptLevel:            parallel.OptLevel(cfg.OptimizationLevel),
-		SkipFitnessWhenIdle: cfg.SkipFitnessWhenIdle,
+		Noise:               c.Noise,
+		PCRate:              c.PCRate,
+		MutationRate:        c.MutationRate,
+		Beta:                c.Beta,
+		Generations:         c.Generations,
+		Seed:                c.Seed,
+		OptLevel:            parallel.OptLevel(c.OptimizationLevel),
+		SkipFitnessWhenIdle: c.SkipFitnessWhenIdle,
+
+		CheckpointPath:  c.CheckpointPath,
+		CheckpointEvery: c.CheckpointEvery,
+		CheckpointLabel: c.CheckpointLabel,
 	}
-	if len(cfg.InitialStrategies) > 0 {
-		strats, err := parseStrategies(cfg.MemorySteps, cfg.InitialStrategies)
+	if len(c.InitialStrategies) > 0 {
+		strats, err := parseStrategies(c.MemorySteps, c.InitialStrategies)
 		if err != nil {
-			return ParallelResult{}, err
+			return parallel.Config{}, err
 		}
 		internal.InitialStrategies = strats
 	}
+	return internal, nil
+}
+
+// SimulateParallel runs the distributed engine.
+func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
+	internal, err := cfg.toInternal()
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	return runParallel(internal)
+}
+
+// ResumeParallelSimulation continues a distributed run from a checkpoint
+// file for cfg.Generations additional generations, with the same contract
+// as ResumeSimulation: the configuration must describe the original run,
+// InitialStrategies must be empty, and a resumable parallel-engine
+// checkpoint continues bit-identically (the Nature Agent's stream and event
+// counters are restored, and the SSet ranks' per-generation noise streams
+// are re-derived from the recorded generation).  A final-only checkpoint
+// restores as a warm start from its typed strategy table.
+func ResumeParallelSimulation(path string, cfg ParallelConfig) (ParallelResult, error) {
+	if len(cfg.InitialStrategies) > 0 {
+		return ParallelResult{}, fmt.Errorf("evogame: ResumeParallelSimulation takes the strategy table from the checkpoint; InitialStrategies must be empty")
+	}
+	internal, err := cfg.toInternal()
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		return ParallelResult{}, fmt.Errorf("evogame: %w", err)
+	}
+	internal.Resume = &snap
+	return runParallel(internal)
+}
+
+// runParallel executes a resolved distributed configuration and maps the
+// result onto the facade's types; SimulateParallel and
+// ResumeParallelSimulation share it.
+func runParallel(internal parallel.Config) (ParallelResult, error) {
 	res, err := parallel.Run(internal)
 	if err != nil {
 		return ParallelResult{}, err

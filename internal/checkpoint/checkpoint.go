@@ -7,7 +7,12 @@
 //
 // The format is a small gob-encoded envelope around the strategy codec of
 // internal/strategy, so it remains readable as the internal strategy types
-// evolve.
+// evolve.  Since format version 4 a snapshot can carry full resume state —
+// the named RNG stream states and the Nature Agent's event counters — from
+// which either engine continues a run bit-identically; Save is atomic and
+// durable (unique temp file, fsync, rename, directory fsync), so a crash
+// mid-write never corrupts the previous checkpoint.  See docs/CHECKPOINT.md
+// for the field-by-field format and the compatibility matrix.
 package checkpoint
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"evogame/internal/game"
 	"evogame/internal/strategy"
@@ -49,14 +55,122 @@ type Snapshot struct {
 	Strategies []strategy.Strategy
 	// Label is free-form metadata (experiment name, parameters).
 	Label string
+
+	// Resume reports whether the snapshot carries the mid-run resume state
+	// below (format version 4).  Final-only snapshots — and every envelope
+	// written before version 4 — leave it false; such snapshots can still
+	// seed a warm start from their strategy table, but not a bit-identical
+	// continuation.
+	Resume bool
+	// Engine records which engine exported the resume state, EngineSerial
+	// or EngineParallel.  The two engines consume different stream sets, so
+	// a resume snapshot only restores into the engine that wrote it.
+	Engine string
+	// Streams holds the named RNG stream states captured at Generation.
+	// The serial engine records StreamNature and StreamGame; the parallel
+	// engine records only StreamNature, because its per-(generation, SSet)
+	// noise streams are derived statelessly from (Seed, generation, SSet id)
+	// and Generation re-derives them exactly.
+	Streams []Stream
+	// PCEvents, Adoptions and Mutations are the Nature Agent's cumulative
+	// event counters at Generation, restored so a resumed run's event trace
+	// continues instead of restarting from zero.
+	PCEvents  int
+	Adoptions int
+	Mutations int
+	// GamesPlayed is the engine's cumulative game counter at Generation
+	// where the engine tracks one (the serial engine's full evaluation
+	// path); zero otherwise.
+	GamesPlayed int64
+}
+
+// Stream records the state of one named RNG stream inside a resume
+// snapshot.
+type Stream struct {
+	// Name identifies the stream (StreamNature, StreamGame).
+	Name string
+	// State is the xoshiro256** state exported by rng.Source.State.
+	State [4]uint64
+}
+
+// Engine identities recorded in resume snapshots.
+const (
+	EngineSerial   = "serial"
+	EngineParallel = "parallel"
+)
+
+// Stream names recorded in resume snapshots.
+const (
+	// StreamNature is the Nature Agent's event stream (both engines).
+	StreamNature = "nature"
+	// StreamGame is the serial engine's game-play stream, split per noisy or
+	// mixed-strategy fitness evaluation.
+	StreamGame = "game"
+)
+
+// Stream returns the state of the named RNG stream and whether the snapshot
+// carries it.
+func (s Snapshot) Stream(name string) ([4]uint64, bool) {
+	for _, st := range s.Streams {
+		if st.Name == name {
+			return st.State, true
+		}
+	}
+	return [4]uint64{}, false
+}
+
+// Identity is the run identity an engine resolves from its configuration:
+// everything a snapshot records about the run that produced it.  Parameters
+// a snapshot does not record (noise, rounds, rates) are the caller's
+// responsibility to pass unchanged.
+type Identity struct {
+	NumSSets    int
+	MemorySteps int
+	Seed        uint64
+	Game        string
+	Payoff      [4]float64
+	UpdateRule  string
+	Topology    string
+}
+
+// CheckIdentity verifies field by field that the snapshot was produced by a
+// run with the given identity, so a checkpoint cannot silently resume into
+// a run it does not describe.  Both engines route their resume validation
+// through here; pkg prefixes the error messages ("population", "parallel").
+func (s Snapshot) CheckIdentity(pkg string, id Identity) error {
+	if len(s.Strategies) != id.NumSSets {
+		return fmt.Errorf("%s: checkpoint holds %d strategies, config has %d SSets", pkg, len(s.Strategies), id.NumSSets)
+	}
+	if s.MemorySteps != id.MemorySteps {
+		return fmt.Errorf("%s: checkpoint memory depth %d, config has %d", pkg, s.MemorySteps, id.MemorySteps)
+	}
+	if s.Seed != id.Seed {
+		return fmt.Errorf("%s: checkpoint seed %d, config has %d", pkg, s.Seed, id.Seed)
+	}
+	if s.Game != id.Game {
+		return fmt.Errorf("%s: checkpoint game %q, config plays %q", pkg, s.Game, id.Game)
+	}
+	if s.Payoff != id.Payoff {
+		return fmt.Errorf("%s: checkpoint payoff %v, config uses %v", pkg, s.Payoff, id.Payoff)
+	}
+	if s.UpdateRule != id.UpdateRule {
+		return fmt.Errorf("%s: checkpoint update rule %q, config uses %q", pkg, s.UpdateRule, id.UpdateRule)
+	}
+	if s.Topology != id.Topology {
+		return fmt.Errorf("%s: checkpoint topology %q, config uses %q", pkg, s.Topology, id.Topology)
+	}
+	return nil
 }
 
 // envelope is the gob-encoded on-disk representation.  Version 2 added the
-// Game, Payoff and UpdateRule fields; version 3 added Topology.  Gob's
-// name-based decoding leaves newer fields zero when reading an older
-// stream, and Read fills in the pre-registry / pre-topology defaults.  See
-// docs/CHECKPOINT.md for the field-by-field format and the compatibility
-// matrix.
+// Game, Payoff and UpdateRule fields; version 3 added Topology; version 4
+// added the mid-run resume state (Resume, Engine, Streams, the event
+// counters and GamesPlayed).  Gob's name-based decoding leaves newer fields
+// zero when reading an older stream, and Read fills in the pre-registry /
+// pre-topology defaults — for the version-4 fields the zero values already
+// mean the right thing: an older envelope is a final-only snapshot
+// (Resume == false).  See docs/CHECKPOINT.md for the field-by-field format
+// and the compatibility matrix.
 type envelope struct {
 	Version     int
 	Generation  int
@@ -68,9 +182,16 @@ type envelope struct {
 	Topology    string
 	Label       string
 	Strategies  [][]byte
+	Resume      bool
+	Engine      string
+	Streams     []Stream
+	PCEvents    int
+	Adoptions   int
+	Mutations   int
+	GamesPlayed int64
 }
 
-const formatVersion = 3
+const formatVersion = 4
 
 // defaultGame / defaultRule / defaultTopology are the identities every
 // pre-registry, pre-topology run had.
@@ -108,6 +229,19 @@ func Write(w io.Writer, s Snapshot) error {
 			s.Payoff = spec.Payoff.Table()
 		}
 	}
+	if s.Resume {
+		if s.Engine != EngineSerial && s.Engine != EngineParallel {
+			return fmt.Errorf("checkpoint: resume snapshot has unknown engine %q", s.Engine)
+		}
+		if _, ok := s.Stream(StreamNature); !ok {
+			return fmt.Errorf("checkpoint: resume snapshot is missing the %q stream", StreamNature)
+		}
+		for _, st := range s.Streams {
+			if st.State == ([4]uint64{}) {
+				return fmt.Errorf("checkpoint: stream %q has an all-zero RNG state", st.Name)
+			}
+		}
+	}
 	env := envelope{
 		Version:     formatVersion,
 		Generation:  s.Generation,
@@ -119,6 +253,13 @@ func Write(w io.Writer, s Snapshot) error {
 		Topology:    s.Topology,
 		Label:       s.Label,
 		Strategies:  make([][]byte, len(s.Strategies)),
+		Resume:      s.Resume,
+		Engine:      s.Engine,
+		Streams:     s.Streams,
+		PCEvents:    s.PCEvents,
+		Adoptions:   s.Adoptions,
+		Mutations:   s.Mutations,
+		GamesPlayed: s.GamesPlayed,
 	}
 	for i, strat := range s.Strategies {
 		if strat == nil {
@@ -166,6 +307,18 @@ func Read(r io.Reader) (Snapshot, error) {
 		Topology:    env.Topology,
 		Label:       env.Label,
 		Strategies:  make([]strategy.Strategy, len(env.Strategies)),
+		Resume:      env.Resume,
+		Engine:      env.Engine,
+		Streams:     env.Streams,
+		PCEvents:    env.PCEvents,
+		Adoptions:   env.Adoptions,
+		Mutations:   env.Mutations,
+		GamesPlayed: env.GamesPlayed,
+	}
+	if env.Resume {
+		if _, ok := s.Stream(StreamNature); !ok {
+			return Snapshot{}, fmt.Errorf("checkpoint: resume snapshot is missing the %q stream", StreamNature)
+		}
 	}
 	for i, enc := range env.Strategies {
 		strat, err := strategy.Decode(enc)
@@ -177,20 +330,56 @@ func Read(r io.Reader) (Snapshot, error) {
 	return s, nil
 }
 
-// Save writes the snapshot atomically to the given path (write to a
-// temporary file in the same directory, then rename).
+// Save writes the snapshot atomically and durably to the given path: the
+// envelope goes to a uniquely named temporary file in the target directory
+// (so two runs sharing a checkpoint path cannot clobber each other's
+// in-flight writes), is fsynced, renamed into place, and the directory is
+// fsynced so the rename itself survives a crash.  A reader therefore sees
+// either the previous checkpoint or the new one, never a torn or empty
+// file.
 func Save(path string, s Snapshot) error {
 	var buf bytes.Buffer
 	if err := Write(&buf, s); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temporary file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: writing %s: %w", tmp, err))
+	}
+	// Flush the file contents before the rename: without this a crash
+	// shortly after the rename can leave a zero-length "checkpoint" under
+	// the final name.
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: closing %s: %w", tmp, err))
+	}
+	// CreateTemp creates the file 0600; widen to the conventional 0644.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: setting permissions on %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: renaming into place: %w", err)
+	}
+	// Make the rename durable.  Directory fsync is unsupported on some
+	// platforms; a failure there does not undo the atomic rename, so it is
+	// deliberately non-fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

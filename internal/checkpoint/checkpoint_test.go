@@ -323,6 +323,203 @@ func TestSaveOverwritesExisting(t *testing.T) {
 	}
 }
 
+// TestResumeStateRoundTrip covers the version-4 resume envelope: the named
+// RNG streams, engine identity and cumulative event counters must survive
+// the write/read cycle exactly.
+func TestResumeStateRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.Resume = true
+	snap.Engine = EngineSerial
+	snap.Streams = []Stream{
+		{Name: StreamNature, State: [4]uint64{1, 2, 3, 4}},
+		{Name: StreamGame, State: [4]uint64{5, 6, 7, 8}},
+	}
+	snap.PCEvents = 111
+	snap.Adoptions = 42
+	snap.Mutations = 7
+	snap.GamesPlayed = 123456
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resume || got.Engine != EngineSerial {
+		t.Fatalf("resume identity lost: Resume=%v Engine=%q", got.Resume, got.Engine)
+	}
+	if st, ok := got.Stream(StreamNature); !ok || st != [4]uint64{1, 2, 3, 4} {
+		t.Fatalf("nature stream = %v, %v", st, ok)
+	}
+	if st, ok := got.Stream(StreamGame); !ok || st != [4]uint64{5, 6, 7, 8} {
+		t.Fatalf("game stream = %v, %v", st, ok)
+	}
+	if got.PCEvents != 111 || got.Adoptions != 42 || got.Mutations != 7 || got.GamesPlayed != 123456 {
+		t.Fatalf("counters lost: %+v", got)
+	}
+	if _, ok := got.Stream("nonexistent"); ok {
+		t.Fatal("Stream returned a stream that was never recorded")
+	}
+}
+
+// TestResumeWriteValidation holds Write to the resume-state invariants: a
+// resume snapshot needs a known engine, the nature stream, and no all-zero
+// (xoshiro-invalid) stream states.
+func TestResumeWriteValidation(t *testing.T) {
+	base := sampleSnapshot()
+	base.Resume = true
+	base.Engine = EngineSerial
+	base.Streams = []Stream{{Name: StreamNature, State: [4]uint64{1, 2, 3, 4}}}
+
+	var buf bytes.Buffer
+	noEngine := base
+	noEngine.Engine = "hybrid"
+	if err := Write(&buf, noEngine); err == nil {
+		t.Error("accepted an unknown engine")
+	}
+	noNature := base
+	noNature.Streams = []Stream{{Name: StreamGame, State: [4]uint64{1, 2, 3, 4}}}
+	if err := Write(&buf, noNature); err == nil {
+		t.Error("accepted a resume snapshot without the nature stream")
+	}
+	zeroState := base
+	zeroState.Streams = []Stream{{Name: StreamNature, State: [4]uint64{}}}
+	if err := Write(&buf, zeroState); err == nil {
+		t.Error("accepted an all-zero RNG stream state")
+	}
+}
+
+// envelopeV3 mirrors the gob envelope exactly as the topology era wrote it
+// (format version 3, no resume state).
+type envelopeV3 struct {
+	Version     int
+	Generation  int
+	Seed        uint64
+	MemorySteps int
+	Game        string
+	Payoff      [4]float64
+	UpdateRule  string
+	Topology    string
+	Label       string
+	Strategies  [][]byte
+}
+
+// TestVersion3CheckpointLoadsAsFinalOnly extends the compatibility matrix
+// to v3 streams read by the v4 reader: everything v3 recorded survives, and
+// the snapshot comes back marked non-resumable with zero resume state.
+func TestVersion3CheckpointLoadsAsFinalOnly(t *testing.T) {
+	enc, err := strategy.Encode(strategy.WSLS(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := envelopeV3{
+		Version:     3,
+		Generation:  424242,
+		Seed:        99,
+		MemorySteps: 1,
+		Game:        "staghunt",
+		Payoff:      [4]float64{4, 0, 3, 2},
+		UpdateRule:  "imitation",
+		Topology:    "ring:6",
+		Label:       "topology-era run",
+		Strategies:  [][]byte{enc},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("version-3 checkpoint failed to restore: %v", err)
+	}
+	if got.Game != "staghunt" || got.UpdateRule != "imitation" || got.Topology != "ring:6" || got.Payoff != old.Payoff {
+		t.Fatalf("version-3 identity lost: %+v", got)
+	}
+	if got.Resume || got.Engine != "" || got.Streams != nil {
+		t.Fatalf("version-3 checkpoint gained resume state: Resume=%v Engine=%q Streams=%v", got.Resume, got.Engine, got.Streams)
+	}
+	if got.PCEvents != 0 || got.Adoptions != 0 || got.Mutations != 0 || got.GamesPlayed != 0 {
+		t.Fatalf("version-3 checkpoint gained event counters: %+v", got)
+	}
+}
+
+// TestLoadTruncatedAndCorrupt asserts that a torn or bit-rotted file fails
+// with a clean error instead of decoding into a zero-value Snapshot.
+func TestLoadTruncatedAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func() []byte{
+		"truncated-half":  func() []byte { return raw[:len(raw)/2] },
+		"truncated-tail":  func() []byte { return raw[:len(raw)-1] },
+		"truncated-empty": func() []byte { return nil },
+		"corrupt-strategy": func() []byte {
+			// Flip the codec-version byte of an embedded strategy encoding.
+			// (A flip inside the move table itself would decode fine — every
+			// bit pattern is a valid pure strategy — so the codec header is
+			// the detectable place.)
+			enc, err := strategy.Encode(strategy.WSLS(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := bytes.Index(raw, enc)
+			if idx < 0 {
+				t.Fatal("could not locate the embedded strategy encoding")
+			}
+			cp := append([]byte(nil), raw...)
+			cp[idx] ^= 0xFF
+			return cp
+		},
+	} {
+		bad := filepath.Join(dir, name+".ckpt")
+		if err := os.WriteFile(bad, mutate(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Load(bad)
+		if err == nil {
+			t.Errorf("%s: loaded without error (snapshot: %+v)", name, snap)
+		}
+	}
+}
+
+// TestSaveIsDurableAndCollisionFree exercises the Save rewrite: no
+// fixed-suffix temp file is used (two runs sharing a path cannot clobber
+// each other's in-flight writes), and nothing lingers after success.
+func TestSaveIsDurableAndCollisionFree(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shared.ckpt")
+	// A file squatting on the old fixed temp name must not be touched.
+	squatter := path + ".tmp"
+	if err := os.WriteFile(squatter, []byte("other run's in-flight write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(squatter); err != nil || string(got) != "other run's in-flight write" {
+		t.Fatalf("Save disturbed an unrelated file at the fixed temp suffix: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) && e.Name() != filepath.Base(squatter) {
+			t.Errorf("Save left a stray file behind: %s", e.Name())
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("checkpoint permissions: %v, %v", fi.Mode(), err)
+	}
+}
+
 func TestMixedStrategiesRoundTrip(t *testing.T) {
 	gtft, err := strategy.GTFT(1, 0.3)
 	if err != nil {

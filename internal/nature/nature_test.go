@@ -1,6 +1,7 @@
 package nature
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -402,5 +403,72 @@ func BenchmarkMaybeMutationMemorySix(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, _, _ = a.MaybeMutation(4096)
+	}
+}
+
+// TestExportRestoreStateReplays is the Nature-Agent half of the resume
+// guarantee: an agent restored from ExportState into a fresh instance with
+// the same configuration must replay exactly the event sequence the
+// original produces from that point on, counters included.
+func TestExportRestoreStateReplays(t *testing.T) {
+	cfg := Config{PCRate: 0.8, MutationRate: 0.3, Beta: 1, MemorySteps: 1}
+	original, err := New(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ssets = 10
+	drive := func(a *Agent, gens int) []string {
+		var events []string
+		for g := 0; g < gens; g++ {
+			if tch, lrn, ok := a.MaybeSelectPC(ssets); ok {
+				adopted, _ := a.DecideAdoption(float64(tch), float64(lrn))
+				a.RecordPC(adopted)
+				events = append(events, fmt.Sprintf("pc %d %d %v", tch, lrn, adopted))
+			}
+			if target, strat, ok := a.MaybeMutation(ssets); ok {
+				events = append(events, fmt.Sprintf("mut %d %s", target, strat.String()))
+			}
+			a.EndGeneration()
+		}
+		return events
+	}
+	drive(original, 50)
+
+	st := original.ExportState()
+	restored, err := New(cfg, rng.New(12345)) // different seed: must be overwritten
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats() != original.Stats() {
+		t.Fatalf("counters not restored: %+v vs %+v", restored.Stats(), original.Stats())
+	}
+
+	want := drive(original, 50)
+	got := drive(restored, 50)
+	if len(want) != len(got) {
+		t.Fatalf("event counts diverged: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("event %d diverged: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if restored.Stats() != original.Stats() {
+		t.Fatalf("final counters diverged: %+v vs %+v", restored.Stats(), original.Stats())
+	}
+}
+
+// TestRestoreStateRejectsZeroRNG ensures a corrupt (all-zero) stream state
+// cannot be installed.
+func TestRestoreStateRejectsZeroRNG(t *testing.T) {
+	a, err := New(Config{MemorySteps: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RestoreState(State{}); err == nil {
+		t.Fatal("accepted an all-zero RNG state")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
@@ -159,6 +160,43 @@ type Config struct {
 	// strategy-table updates.  Noisy or mixed populations fall back to the
 	// EvalFull path, keeping all modes bit-for-bit identical per seed.
 	EvalMode fitness.EvalMode
+
+	// CheckpointPath, when non-empty, makes the Nature Agent write a
+	// resumable (format v4) checkpoint of the final state; combined with
+	// CheckpointEvery it also receives the periodic mid-run checkpoints.
+	// Only rank 0 touches the file — it owns the authoritative table and
+	// the event stream, which together with the recorded generation are the
+	// complete resume state of a distributed run (the SSet ranks' noise
+	// streams are re-derived per (Seed, generation, SSet id)).
+	CheckpointPath string
+	// CheckpointEvery writes a mid-run checkpoint to CheckpointPath every
+	// this many generations of simulated time (0 disables periodic
+	// checkpointing).  Each write atomically replaces the previous one.
+	CheckpointEvery int
+	// CheckpointLabel is recorded as the checkpoint's free-form Label.
+	CheckpointLabel string
+	// Resume, when non-nil, continues the run captured by the snapshot
+	// instead of starting fresh: the strategy table comes from the
+	// checkpoint, the generation counter continues from the recorded value
+	// (Generations then counts *additional* generations), and — for a
+	// resumable parallel-engine snapshot — the Nature Agent's RNG stream
+	// and event counters are restored, making the continuation
+	// bit-identical to an uninterrupted run.  A final-only snapshot warm
+	// starts from its table with fresh streams.  The snapshot's identity
+	// (shape, seed, game, rule, topology) must match the Config.
+	Resume *checkpoint.Snapshot
+}
+
+// startGeneration returns the absolute generation the run begins at: zero
+// for a fresh run, the checkpointed generation for a resumed one.  The
+// absolute index matters beyond bookkeeping — the per-(generation, SSet)
+// noise streams are derived from it, so a resumed noisy run replays the
+// exact streams an uninterrupted run would use.
+func (c Config) startGeneration() int {
+	if c.Resume != nil {
+		return c.Resume.Generation
+	}
+	return 0
 }
 
 func (c Config) validate() error {
@@ -189,7 +227,60 @@ func (c Config) validate() error {
 	if !c.EvalMode.Valid() {
 		return fmt.Errorf("parallel: invalid eval mode %v", c.EvalMode)
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("parallel: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("parallel: CheckpointEvery requires CheckpointPath")
+	}
+	if c.Resume != nil {
+		if c.InitialStrategies != nil {
+			return fmt.Errorf("parallel: Resume takes the strategy table from the checkpoint; InitialStrategies must be nil")
+		}
+		if err := c.checkResumeIdentity(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkResumeIdentity verifies that the Resume snapshot was produced by a
+// run with the same identity as the Config, via the shared
+// checkpoint.Identity comparison, plus the engine match for resumable
+// snapshots.
+func (c Config) checkResumeIdentity() error {
+	snap := c.Resume
+	spec, rule, topo := c.effectiveIdentity()
+	if err := snap.CheckIdentity("parallel", checkpoint.Identity{
+		NumSSets:    c.NumSSets,
+		MemorySteps: c.MemorySteps,
+		Seed:        c.Seed,
+		Game:        spec.Name,
+		Payoff:      spec.Payoff.Table(),
+		UpdateRule:  rule,
+		Topology:    topo,
+	}); err != nil {
+		return err
+	}
+	if snap.Resume && snap.Engine != checkpoint.EngineParallel {
+		return fmt.Errorf("parallel: checkpoint carries %q-engine resume state; the parallel engine cannot restore it", snap.Engine)
+	}
+	return nil
+}
+
+// effectiveIdentity resolves the scenario identity strings the Config
+// records in checkpoints, mapping the zero-value Game and nil UpdateRule to
+// the paper's defaults exactly as the engines resolve them.
+func (c Config) effectiveIdentity() (spec game.Spec, rule string, topo string) {
+	spec = c.Game
+	if spec.Name == "" {
+		spec = game.IPD()
+	}
+	rule = "fermi"
+	if c.UpdateRule != nil {
+		rule = c.UpdateRule.Name()
+	}
+	return spec, rule, c.Topology.String()
 }
 
 // RankReport summarises one rank's work and communication.
@@ -339,7 +430,7 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{
 		FinalStrategies: finalTable,
-		Generations:     cfg.Generations,
+		Generations:     cfg.startGeneration() + cfg.Generations,
 		WallClock:       time.Since(start),
 		Ranks:           reports,
 		NatureStats:     natStats,
@@ -377,8 +468,33 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 		return nil, nature.Stats{}, RankReport{}, err
 	}
 
+	start := cfg.startGeneration()
+	var ckptErr error
+	lastSaved := -1
 	initial := cfg.InitialStrategies
-	if initial == nil {
+	switch {
+	case cfg.Resume != nil:
+		// The table continues from the checkpoint.  For a resumable
+		// parallel-engine snapshot the Nature Agent's stream and counters are
+		// restored too, making the continuation bit-identical; a final-only
+		// snapshot warm starts with the fresh streams built above.
+		initial = cfg.Resume.Strategies
+		if cfg.Resume.Resume {
+			natState, ok := cfg.Resume.Stream(checkpoint.StreamNature)
+			if !ok {
+				return nil, nature.Stats{}, RankReport{}, fmt.Errorf("parallel: resume checkpoint is missing the %q stream", checkpoint.StreamNature)
+			}
+			if err := nat.RestoreState(nature.State{
+				RNG:         natState,
+				Generations: cfg.Resume.Generation,
+				PCEvents:    cfg.Resume.PCEvents,
+				Adoptions:   cfg.Resume.Adoptions,
+				Mutations:   cfg.Resume.Mutations,
+			}); err != nil {
+				return nil, nature.Stats{}, RankReport{}, fmt.Errorf("parallel: %w", err)
+			}
+		}
+	case initial == nil:
 		initial = make([]strategy.Strategy, cfg.NumSSets)
 		for i := range initial {
 			initial[i] = strategy.RandomPure(cfg.MemorySteps, initSrc)
@@ -469,6 +585,30 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 			return nil, nature.Stats{}, RankReport{}, err
 		}
 		nat.EndGeneration()
+
+		// A failed periodic save must NOT abort the loop: the SSet ranks are
+		// blocked on the next phase-1 broadcast, and rank 0 returning early
+		// would deadlock the whole fabric.  Record the first failure, stop
+		// checkpointing, keep driving the protocol, and surface the error
+		// after the choreography completes.
+		if absGen := start + gen + 1; ckptErr == nil && cfg.CheckpointEvery > 0 && absGen%cfg.CheckpointEvery == 0 {
+			if err := checkpoint.Save(cfg.CheckpointPath, natureSnapshot(cfg, nat, table, absGen)); err != nil {
+				ckptErr = fmt.Errorf("parallel: generation %d: %w", absGen, err)
+			} else {
+				lastSaved = absGen
+			}
+		}
+	}
+
+	if ckptErr != nil {
+		return nil, nature.Stats{}, RankReport{}, ckptErr
+	}
+	// Skip the final save when the last periodic write already captured the
+	// final generation — the snapshot would be byte-identical.
+	if final := start + cfg.Generations; cfg.CheckpointPath != "" && lastSaved != final {
+		if err := checkpoint.Save(cfg.CheckpointPath, natureSnapshot(cfg, nat, table, final)); err != nil {
+			return nil, nature.Stats{}, RankReport{}, err
+		}
 	}
 
 	rep := RankReport{
@@ -478,6 +618,36 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 		CommStats: c.Stats(),
 	}
 	return table.Snapshot(), nat.Stats(), rep, nil
+}
+
+// natureSnapshot exports the Nature Agent's mid-run state at the given
+// absolute generation as a resumable (format v4) checkpoint.  The table and
+// the agent's stream are the complete resume state of a distributed run:
+// the SSet ranks hold no persistent RNG streams — their noise sources are
+// derived per (Seed, generation, SSet id) — so the recorded generation
+// re-derives them exactly on resume.
+func natureSnapshot(cfg Config, nat *nature.Agent, table *nature.Table, absGen int) checkpoint.Snapshot {
+	spec, rule, topo := cfg.effectiveIdentity()
+	st := nat.ExportState()
+	return checkpoint.Snapshot{
+		Generation:  absGen,
+		Seed:        cfg.Seed,
+		MemorySteps: cfg.MemorySteps,
+		Game:        spec.Name,
+		Payoff:      spec.Payoff.Table(),
+		UpdateRule:  rule,
+		Topology:    topo,
+		Strategies:  table.Snapshot(),
+		Label:       cfg.CheckpointLabel,
+		Resume:      true,
+		Engine:      checkpoint.EngineParallel,
+		Streams: []checkpoint.Stream{
+			{Name: checkpoint.StreamNature, State: st.RNG},
+		},
+		PCEvents:  st.PCEvents,
+		Adoptions: st.Adoptions,
+		Mutations: st.Mutations,
+	}
 }
 
 // ssetRank runs one Strategy-Set-owning rank: it plays the local games each
@@ -560,6 +730,10 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		}
 	}
 
+	// Resumed runs continue at the checkpointed absolute generation; the
+	// offset keeps the per-(generation, SSet) noise streams aligned with
+	// what an uninterrupted run would draw.
+	start := cfg.startGeneration()
 	for gen := 0; gen < cfg.Generations; gen++ {
 		// Phase 1: receive the pairwise-comparison selection first so the
 		// rank can skip the game play on idle generations when configured to.
@@ -596,7 +770,7 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 					}
 					var src *rng.Source
 					if cfg.Noise > 0 {
-						src = rng.New(mixSeed(cfg.Seed, gen, s.ID()))
+						src = rng.New(mixSeed(cfg.Seed, start+gen, s.ID()))
 					}
 					f, err := s.Fitness(engine, opponents, sset.FitnessOptions{
 						Workers: cfg.WorkersPerRank,

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
@@ -121,6 +122,17 @@ type Config struct {
 	// generations).  Zero disables periodic sampling; a sample is always
 	// taken at the end of the run.
 	SampleEvery int
+	// CheckpointPath, when non-empty, makes Run write a resumable (format
+	// v4) checkpoint of the final state; combined with CheckpointEvery it
+	// also receives the periodic mid-run checkpoints.  Restore resumes a
+	// run from such a file bit-identically.
+	CheckpointPath string
+	// CheckpointEvery writes a mid-run checkpoint to CheckpointPath every
+	// this many generations (0 disables periodic checkpointing).  Each
+	// write atomically replaces the previous one.
+	CheckpointEvery int
+	// CheckpointLabel is recorded as the checkpoint's free-form Label.
+	CheckpointLabel string
 }
 
 func (c Config) validate() error {
@@ -141,6 +153,12 @@ func (c Config) validate() error {
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("population: SampleEvery must be non-negative, got %d", c.SampleEvery)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("population: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("population: CheckpointEvery requires CheckpointPath")
 	}
 	if !c.EvalMode.Valid() {
 		return fmt.Errorf("population: invalid eval mode %v", c.EvalMode)
@@ -280,6 +298,120 @@ func New(cfg Config) (*Model, error) {
 			m.matrix = mat
 		}
 	}
+	return m, nil
+}
+
+// effectiveIdentity resolves the scenario identity strings a Config records
+// in checkpoints: the zero-value Game and nil UpdateRule map to the paper's
+// defaults exactly as the engines resolve them.
+func effectiveIdentity(cfg Config) (spec game.Spec, rule string, topo string) {
+	spec = cfg.Game
+	if spec.Name == "" {
+		spec = game.IPD()
+	}
+	rule = "fermi"
+	if cfg.UpdateRule != nil {
+		rule = cfg.UpdateRule.Name()
+	}
+	return spec, rule, cfg.Topology.String()
+}
+
+// Snapshot exports the model's mid-run state as a resumable (format v4)
+// checkpoint: the typed strategy table, the Nature Agent's RNG stream and
+// event counters, and the game-play stream.  Restore rebuilds a Model from
+// it that continues the run bit-identically.
+func (m *Model) Snapshot() checkpoint.Snapshot {
+	spec, rule, topo := effectiveIdentity(m.cfg)
+	st := m.nat.ExportState()
+	return checkpoint.Snapshot{
+		Generation:  m.gen,
+		Seed:        m.cfg.Seed,
+		MemorySteps: m.cfg.MemorySteps,
+		Game:        spec.Name,
+		Payoff:      spec.Payoff.Table(),
+		UpdateRule:  rule,
+		Topology:    topo,
+		Strategies:  m.Strategies(),
+		Label:       m.cfg.CheckpointLabel,
+		Resume:      true,
+		Engine:      checkpoint.EngineSerial,
+		Streams: []checkpoint.Stream{
+			{Name: checkpoint.StreamNature, State: st.RNG},
+			{Name: checkpoint.StreamGame, State: m.src.State()},
+		},
+		PCEvents:    st.PCEvents,
+		Adoptions:   st.Adoptions,
+		Mutations:   st.Mutations,
+		GamesPlayed: m.games,
+	}
+}
+
+// checkIdentity verifies that a snapshot was produced by a run with the
+// same identity as cfg, via the shared checkpoint.Identity comparison.
+func checkIdentity(cfg Config, snap checkpoint.Snapshot) error {
+	spec, rule, topo := effectiveIdentity(cfg)
+	return snap.CheckIdentity("population", checkpoint.Identity{
+		NumSSets:    cfg.NumSSets,
+		MemorySteps: cfg.MemorySteps,
+		Seed:        cfg.Seed,
+		Game:        spec.Name,
+		Payoff:      spec.Payoff.Table(),
+		UpdateRule:  rule,
+		Topology:    topo,
+	})
+}
+
+// Restore rebuilds a Model from a checkpoint so the run continues where the
+// snapshot was taken.  For a resumable (format v4, serial-engine) snapshot
+// the continuation is bit-identical: the strategy table, generation
+// counter, event counters and both RNG streams are restored, so running N
+// more generations produces exactly what an uninterrupted run would have.
+// For a final-only snapshot (pre-v4, or written without resume state) the
+// restore is a warm start: the typed strategy table and generation counter
+// carry over but the RNG streams restart from cfg.Seed, so the continuation
+// is a valid run from that population, not a replay.  The config must
+// describe the original run (same shape, seed and scenario identity);
+// Config.InitialStrategies must be nil — the table comes from the snapshot.
+func Restore(cfg Config, snap checkpoint.Snapshot) (*Model, error) {
+	if cfg.InitialStrategies != nil {
+		return nil, fmt.Errorf("population: Restore takes the strategy table from the checkpoint; InitialStrategies must be nil")
+	}
+	if err := checkIdentity(cfg, snap); err != nil {
+		return nil, err
+	}
+	cfg.InitialStrategies = snap.Strategies
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.gen = snap.Generation
+	if !snap.Resume {
+		return m, nil
+	}
+	if snap.Engine != checkpoint.EngineSerial {
+		return nil, fmt.Errorf("population: checkpoint carries %q-engine resume state; the serial engine cannot restore it", snap.Engine)
+	}
+	natState, ok := snap.Stream(checkpoint.StreamNature)
+	if !ok {
+		return nil, fmt.Errorf("population: resume checkpoint is missing the %q stream", checkpoint.StreamNature)
+	}
+	gameState, ok := snap.Stream(checkpoint.StreamGame)
+	if !ok {
+		return nil, fmt.Errorf("population: resume checkpoint is missing the %q stream", checkpoint.StreamGame)
+	}
+	if err := m.nat.RestoreState(nature.State{
+		RNG:         natState,
+		Generations: snap.Generation,
+		PCEvents:    snap.PCEvents,
+		Adoptions:   snap.Adoptions,
+		Mutations:   snap.Mutations,
+	}); err != nil {
+		return nil, fmt.Errorf("population: %w", err)
+	}
+	if err := m.src.SetState(gameState); err != nil {
+		return nil, fmt.Errorf("population: restoring game stream: %w", err)
+	}
+	m.games = snap.GamesPlayed
 	return m, nil
 }
 
@@ -538,6 +670,7 @@ func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 		return Result{}, fmt.Errorf("population: negative generation count %d", generations)
 	}
 	var samples []AbundanceSample
+	lastSaved := -1
 	for g := 0; g < generations; g++ {
 		select {
 		case <-ctx.Done():
@@ -550,9 +683,22 @@ func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 		if m.cfg.SampleEvery > 0 && m.gen%m.cfg.SampleEvery == 0 {
 			samples = append(samples, m.Sample())
 		}
+		if m.cfg.CheckpointEvery > 0 && m.gen%m.cfg.CheckpointEvery == 0 {
+			if err := checkpoint.Save(m.cfg.CheckpointPath, m.Snapshot()); err != nil {
+				return Result{}, fmt.Errorf("population: generation %d: %w", m.gen, err)
+			}
+			lastSaved = m.gen
+		}
 	}
 	if len(samples) == 0 || samples[len(samples)-1].Generation != m.gen {
 		samples = append(samples, m.Sample())
+	}
+	// Skip the final save when the last periodic write already captured this
+	// generation — the snapshot would be byte-identical.
+	if m.cfg.CheckpointPath != "" && lastSaved != m.gen {
+		if err := checkpoint.Save(m.cfg.CheckpointPath, m.Snapshot()); err != nil {
+			return Result{}, err
+		}
 	}
 	return Result{
 		Generations:      m.gen,

@@ -15,7 +15,9 @@
 package rng
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -218,6 +220,31 @@ func (s *Source) SetState(state [4]uint64) error {
 	}
 	s.s = state
 	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the four state words
+// in little-endian order, 32 bytes total.  Together with UnmarshalBinary it
+// is the checkpoint subsystem's export/import path for RNG streams.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 32)
+	for i, w := range s.s {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring a state
+// previously produced by MarshalBinary.  It rejects malformed lengths and
+// the all-zero state (invalid for xoshiro256**).
+func (s *Source) UnmarshalBinary(data []byte) error {
+	if len(data) != 32 {
+		return fmt.Errorf("rng: state is %d bytes, want 32", len(data))
+	}
+	var state [4]uint64
+	for i := range state {
+		state[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return s.SetState(state)
 }
 
 // Jump advances the generator by 2^128 steps, equivalent to calling Uint64

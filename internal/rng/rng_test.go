@@ -417,3 +417,46 @@ func BenchmarkIntn(b *testing.B) {
 		_ = s.Intn(4096)
 	}
 }
+
+// TestMarshalBinaryRoundTrip holds the checkpoint export path to its
+// contract: a source restored from MarshalBinary bytes continues the
+// original stream exactly, and the original is not disturbed by marshaling.
+func TestMarshalBinaryRoundTrip(t *testing.T) {
+	src := New(2013)
+	for i := 0; i < 100; i++ {
+		src.Uint64()
+	}
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 32 {
+		t.Fatalf("marshaled state is %d bytes, want 32", len(data))
+	}
+	restored := New(1)
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := src.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("restored stream diverged at draw %d: %d vs %d", i, b, a)
+		}
+	}
+}
+
+// TestUnmarshalBinaryRejectsInvalid covers the malformed-input paths: wrong
+// length and the all-zero (xoshiro-invalid) state.
+func TestUnmarshalBinaryRejectsInvalid(t *testing.T) {
+	src := New(1)
+	if err := src.UnmarshalBinary(make([]byte, 31)); err == nil {
+		t.Error("accepted a 31-byte state")
+	}
+	if err := src.UnmarshalBinary(make([]byte, 33)); err == nil {
+		t.Error("accepted a 33-byte state")
+	}
+	if err := src.UnmarshalBinary(make([]byte, 32)); err == nil {
+		t.Error("accepted the all-zero state")
+	}
+	// The source must still work after rejected restores.
+	src.Uint64()
+}

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"evogame/internal/checkpoint"
 )
 
 // smokeTargets lists every main package with the arguments of a brief run.
@@ -88,6 +90,76 @@ func TestSmokeMains(t *testing.T) {
 			}
 			if len(output) == 0 {
 				t.Fatalf("%s produced no output", target.dir)
+			}
+		})
+	}
+
+	t.Run("checkpoint-resume", func(t *testing.T) {
+		smokeCheckpointResume(t, built["./cmd/evogame"])
+	})
+}
+
+// smokeCheckpointResume enforces the CLI resume guarantee on every push: a
+// run interrupted at N/2 (the first half runs with -ckpt-every and stops,
+// exactly what a killed run leaves on disk) and resumed with -resume must
+// end bit-identical to an uninterrupted run of N generations, in both
+// engines.  The comparison reads the final checkpoints, which also
+// exercises the engine-written (typed, correct-generation) snapshot path.
+func smokeCheckpointResume(t *testing.T, bin string) {
+	runCLI := func(args ...string) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		cmd := exec.CommandContext(ctx, bin, args...)
+		output, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, output)
+		}
+	}
+	for _, mode := range []struct {
+		name  string
+		extra []string
+	}{
+		{"serial", nil},
+		{"parallel", []string{"-parallel", "-ranks", "3"}},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			full := filepath.Join(dir, "full.ckpt")
+			half := filepath.Join(dir, "half.ckpt")
+			resumed := filepath.Join(dir, "resumed.ckpt")
+			base := append([]string{
+				"-ssets", "12", "-agents", "2", "-rounds", "20", "-noise", "0.05",
+				"-seed", "11", "-topology", "ring:4",
+			}, mode.extra...)
+
+			runCLI(append(append([]string{}, base...), "-generations", "60", "-checkpoint", full)...)
+			runCLI(append(append([]string{}, base...), "-generations", "30", "-ckpt-every", "10", "-checkpoint", half)...)
+			runCLI(append(append([]string{}, base...), "-resume", half, "-generations", "30", "-checkpoint", resumed)...)
+
+			want, err := checkpoint.Load(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := checkpoint.Load(resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Generation != 60 || want.Generation != 60 {
+				t.Fatalf("generations: resumed %d, uninterrupted %d, want 60", got.Generation, want.Generation)
+			}
+			if len(got.Strategies) != len(want.Strategies) {
+				t.Fatalf("table length %d vs %d", len(got.Strategies), len(want.Strategies))
+			}
+			for i := range want.Strategies {
+				if !want.Strategies[i].Equal(got.Strategies[i]) {
+					t.Fatalf("strategy %d diverged between interrupted+resumed and uninterrupted runs", i)
+				}
+			}
+			if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
+				t.Fatalf("event trace diverged: [%d %d %d] vs [%d %d %d]",
+					got.PCEvents, got.Adoptions, got.Mutations, want.PCEvents, want.Adoptions, want.Mutations)
 			}
 		})
 	}
