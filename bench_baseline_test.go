@@ -1,0 +1,79 @@
+package evogame
+
+// BENCH_5.json is the committed machine-readable baseline of the kernel
+// table (`benchtables -table kernel -json`).  The numbers are a snapshot of
+// the machine that produced them, so this test does not re-measure; it pins
+// the schema the tooling consumes and the claim the baseline exists to
+// document — the cycle-closing and cached pipeline levels beat the
+// full-replay kernel by at least 5x on the S=512 memory-one workload, and
+// the cached path runs allocation-free.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchBaselineRow mirrors the row schema emitted by benchtables -json.
+type benchBaselineRow struct {
+	SSets               int     `json:"ssets"`
+	Mode                string  `json:"mode"`
+	Sweeps              int     `json:"sweeps"`
+	Games               int64   `json:"games"`
+	Seconds             float64 `json:"seconds"`
+	NsPerGame           float64 `json:"ns_per_game"`
+	SpeedupVsFullReplay float64 `json:"speedup_vs_full_replay"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+}
+
+type benchBaselineDoc struct {
+	Table       string             `json:"table"`
+	Seed        uint64             `json:"seed"`
+	Rounds      int                `json:"rounds"`
+	MemorySteps int                `json:"memory_steps"`
+	GoMaxProcs  int                `json:"go_max_procs"`
+	Rows        []benchBaselineRow `json:"rows"`
+}
+
+func TestBenchBaselineSchemaAndClaims(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_5.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var doc benchBaselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_5.json is not valid JSON for the kernel-table schema: %v", err)
+	}
+	if doc.Table != "kernel" || doc.Rounds != DefaultRounds || doc.MemorySteps != 1 {
+		t.Fatalf("baseline header = (%q, rounds=%d, memory=%d), want (kernel, %d, 1)",
+			doc.Table, doc.Rounds, doc.MemorySteps, DefaultRounds)
+	}
+	seen := make(map[[2]interface{}]benchBaselineRow)
+	for _, row := range doc.Rows {
+		if row.Games <= 0 || row.Seconds <= 0 || row.NsPerGame <= 0 {
+			t.Errorf("row %+v has non-positive measurements", row)
+		}
+		seen[[2]interface{}{row.SSets, row.Mode}] = row
+	}
+	for _, ssets := range []int{32, 128, 512} {
+		for _, mode := range []string{"full-replay", "cycle-closing", "cached"} {
+			if _, ok := seen[[2]interface{}{ssets, mode}]; !ok {
+				t.Errorf("baseline is missing the (S=%d, %s) row", ssets, mode)
+			}
+		}
+	}
+	// The acceptance claim the baseline documents: >=5x at S=512 for both
+	// fast paths, with the cached path allocation-free.
+	for _, mode := range []string{"cycle-closing", "cached"} {
+		row, ok := seen[[2]interface{}{512, mode}]
+		if !ok {
+			continue
+		}
+		if row.SpeedupVsFullReplay < 5 {
+			t.Errorf("baseline records %.1fx for (S=512, %s), want >= 5x", row.SpeedupVsFullReplay, mode)
+		}
+		if row.AllocsPerOp >= 0.01 {
+			t.Errorf("baseline records %.3f allocs/game for (S=512, %s), want ~0", row.AllocsPerOp, mode)
+		}
+	}
+}

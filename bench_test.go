@@ -13,6 +13,7 @@ import (
 
 	"evogame/internal/baseline"
 	"evogame/internal/cluster"
+	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/parallel"
 	"evogame/internal/perfmodel"
@@ -378,6 +379,69 @@ func BenchmarkEvalModesParallel(b *testing.B) {
 				}
 				b.ReportMetric(float64(games)/float64(b.N)/gens, "games/gen")
 			})
+		}
+	}
+}
+
+// BenchmarkKernelModesSerial runs the same noiseless full-evaluation
+// workload through the facade with the cycle-closing kernel on and off; the
+// gap is the closed-form evaluation of the periodic joint-state walk (the
+// kernel table of BENCH_5.json measures the same axis on raw all-pairs
+// sweeps).
+func BenchmarkKernelModesSerial(b *testing.B) {
+	for _, kernel := range []string{"full-replay", "auto"} {
+		b.Run("kernel-"+kernel, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(context.Background(), SimulationConfig{
+					NumSSets:      64,
+					AgentsPerSSet: 4,
+					MemorySteps:   1,
+					Rounds:        DefaultRounds,
+					PCRate:        1,
+					MutationRate:  0.05,
+					Beta:          1,
+					Generations:   30,
+					Seed:          uint64(i + 1),
+					Kernel:        kernel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPairCacheHitPath pins the steady-state cost of the interned pair
+// cache: an ID-pair lookup that must stay allocation-free (the companion
+// AllocsPerRun gate lives in internal/fitness).
+func BenchmarkPairCacheHitPath(b *testing.B) {
+	eng, err := game.NewEngine(game.EngineConfig{Rounds: DefaultRounds, MemorySteps: 1,
+		StateMode: game.StateRolling, AccumMode: game.AccumLookup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := fitness.NewPairCache(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]uint32, 16)
+	for i, p := range strategy.AllMemoryOne() {
+		if ids[i], err = cache.Interner().Intern(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, a := range ids {
+		for _, o := range ids {
+			if _, err := cache.PlayID(a, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.PlayID(ids[i&15], ids[(i>>4)&15]); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

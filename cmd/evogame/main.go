@@ -57,6 +57,7 @@ func main() {
 		ruleName    = flag.String("rule", "fermi", "update rule: "+strings.Join(evogame.UpdateRules(), ", "))
 		payoffCSV   = flag.String("payoff", "", "payoff override as R,S,T,P (must satisfy the scenario's constraints)")
 		topoName    = flag.String("topology", "wellmixed", "interaction topology: wellmixed, ring[:degree], torus[:vonneumann|moore], smallworld[:degree[:rewire-prob]]")
+		kernelName  = flag.String("kernel", "auto", "deterministic-game kernel: "+strings.Join(evogame.KernelModes(), ", ")+" (bit-identical; auto closes joint-state cycles in closed form)")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 		seed: *seed, sampleEvery: *sampleEvery, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 		resumePath: *resumePath, clusters: *clusters,
 		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
-		topology: *topoName,
+		topology: *topoName, kernel: *kernelName,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -122,6 +123,7 @@ type runOptions struct {
 	game, rule                  string
 	payoff                      []float64
 	topology                    string
+	kernel                      string
 }
 
 // adoptCheckpointIdentity replaces the identity-bearing options with the
@@ -172,7 +174,8 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
-			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
+			Kernel: o.kernel,
+			Game:   o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
 			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 			CheckpointLabel: "evogame CLI run",
 		}
@@ -202,7 +205,8 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
-			EvalMode: o.evalMode, Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
+			EvalMode: o.evalMode, Kernel: o.kernel,
+			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
 			Topology:       o.topology,
 			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 			CheckpointLabel: "evogame CLI run",

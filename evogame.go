@@ -96,6 +96,10 @@ func (m EvalMode) toInternal() (fitness.EvalMode, error) {
 	return im, nil
 }
 
+// KernelModes returns the names accepted by SimulationConfig.Kernel and
+// ParallelConfig.Kernel ("auto", "full-replay").
+func KernelModes() []string { return []string{"auto", "full-replay"} }
+
 // Games returns the names of the registered game scenarios ("ipd",
 // "snowdrift", "staghunt", "generic", plus any registered extensions).
 // Every scenario works in both engines and under every EvalMode.
@@ -254,6 +258,13 @@ type SimulationConfig struct {
 	// EvalMode selects full, cached or incremental fitness evaluation; all
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
+	// Kernel selects the deterministic-game inner loop: "" or "auto"
+	// (default) closes the periodic joint-state trajectory of a noiseless
+	// deterministic game in closed form whenever that is bit-exact, and
+	// "full-replay" forces the round-by-round reference loop.  All kernel
+	// modes produce identical results for identical seeds; see
+	// docs/PERFORMANCE.md.
+	Kernel string
 	// Game names the scenario to play; empty selects "ipd", the paper's
 	// Iterated Prisoner's Dilemma.  See Games() for the registry.
 	Game string
@@ -337,6 +348,10 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 	if err != nil {
 		return population.Config{}, fmt.Errorf("evogame: %w", err)
 	}
+	kernel, err := game.ParseKernelMode(c.Kernel)
+	if err != nil {
+		return population.Config{}, fmt.Errorf("evogame: %w", err)
+	}
 	cfg := population.Config{
 		NumSSets:      c.NumSSets,
 		AgentsPerSSet: c.AgentsPerSSet,
@@ -352,6 +367,7 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		Seed:          c.Seed,
 		SampleEvery:   c.SampleEvery,
 		EvalMode:      evalMode,
+		Kernel:        kernel,
 
 		CheckpointPath:  c.CheckpointPath,
 		CheckpointEvery: c.CheckpointEvery,
@@ -494,6 +510,11 @@ type ParallelConfig struct {
 	// EvalMode selects full, cached or incremental fitness evaluation; all
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
+	// Kernel selects the deterministic-game inner loop exactly as in
+	// SimulationConfig ("" / "auto" / "full-replay").  Optimization levels
+	// below 2 always replay in full, preserving the Figure 3 ablation's
+	// original kernel.
+	Kernel string
 	// Game, Payoff, UpdateRule and Topology select the scenario, exactly as
 	// in SimulationConfig; empty values are the paper's IPD + Fermi +
 	// well-mixed defaults.
@@ -560,10 +581,15 @@ func (c ParallelConfig) toInternal() (parallel.Config, error) {
 	if err != nil {
 		return parallel.Config{}, fmt.Errorf("evogame: %w", err)
 	}
+	kernel, err := game.ParseKernelMode(c.Kernel)
+	if err != nil {
+		return parallel.Config{}, fmt.Errorf("evogame: %w", err)
+	}
 	internal := parallel.Config{
 		Ranks:               c.Ranks,
 		WorkersPerRank:      c.WorkersPerRank,
 		EvalMode:            evalMode,
+		Kernel:              kernel,
 		Game:                spec,
 		UpdateRule:          rule,
 		Topology:            topo,

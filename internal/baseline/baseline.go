@@ -56,6 +56,10 @@ func New(cfg Config) (*Model, error) {
 		Noise:       cfg.Noise,
 		StateMode:   game.StateRolling,
 		AccumMode:   game.AccumLookup,
+		// The baseline stands in for the traditional implementation the
+		// paper improves on, so it must replay every round rather than
+		// inherit the cycle-closing fast path.
+		Kernel: game.KernelFullReplay,
 	})
 	if err != nil {
 		return nil, err

@@ -2,79 +2,155 @@ package fitness
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"evogame/internal/game"
+	"evogame/internal/intern"
 	"evogame/internal/rng"
 	"evogame/internal/strategy"
 )
 
-// pairKey is the canonical encoding of an ordered (focal, opponent)
-// strategy pair under one game.  Each strategy side is the codec's
-// self-describing byte encoding, so two strategies with identical move
-// tables share one key regardless of which Strategy value holds them; the
-// game component is the engine's canonical game identity (scenario name,
-// payoff values, rounds), so memoized results can never leak between
-// scenarios.  Every entry of one cache shares the same game string value,
-// so the extra field costs one string header per entry, not a copy.
-type pairKey struct {
-	game       string
-	focal, opp string
-}
-
 // maxCacheBytes bounds the approximate memory a PairCache retains for
 // memoized results.  Long runs with high mutation rates generate an
-// unbounded stream of distinct strategies; once the cache reaches the
-// budget it is reset and repopulated on demand, which at worst replays
-// pairs that are still live — results are pure functions of the pair, so
-// correctness is unaffected.
+// unbounded stream of distinct strategies; once a shard reaches its slice
+// of the budget, a bounded fraction of its entries is evicted (see
+// cacheShard.evict), which at worst replays pairs that are still live —
+// results are pure functions of the pair, so correctness is unaffected.
 const maxCacheBytes = 64 << 20
 
-// PairCache memoizes game results per distinct strategy pair.  It is safe
-// for concurrent use by the worker goroutines of one rank; results are pure
-// functions of the pair, so racing workers at worst replay a pair once each
-// and store the identical result (counted once, keeping the play counter
-// deterministic for a given seed).
-type PairCache struct {
-	eng        *game.Engine
-	gameID     string
-	maxEntries int
+// numShards is the number of independently locked segments of the pair
+// store.  Mirrored keys (a,b) and (b,a) hash to the same shard, so the
+// mirrored-pair invariant is maintained under one lock.
+const numShards = 64
 
-	mu      sync.Mutex
-	entries map[pairKey]game.Result
-	plays   int64
-	hits    int64
+// evictDivisor is the fraction of a full shard evicted in one pass (one
+// quarter), so an overflow sheds bounded weight instead of discarding every
+// hot pair at once.
+const evictDivisor = 4
+
+// cacheShard is one lock-scoped segment of the pair store.  Reads take the
+// read lock only, so cache hits from concurrent worker goroutines do not
+// serialise on each other.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[uint64]game.Result
 }
 
-// NewPairCache returns an empty cache bound to the given engine; the
-// engine's game identity becomes part of every cache key.
+// evict removes roughly a quarter of the shard's entries, always deleting a
+// key together with its mirror so the mirrored-pair invariant survives
+// eviction.  Victims are the numerically smallest keys — interned IDs are
+// dense and issued in first-seen order, so low keys belong to the oldest
+// strategies, the ones most likely extinct — selected by sorting rather
+// than map iteration so that which pairs later replay (and therefore the
+// reported play counts) stays deterministic for a given seed.  Called with
+// the shard's write lock held.
+func (sh *cacheShard) evict() int {
+	quota := len(sh.entries) / evictDivisor
+	if quota < 1 {
+		quota = 1
+	}
+	keys := make([]uint64, 0, len(sh.entries))
+	for k := range sh.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	removed := 0
+	for _, k := range keys {
+		if _, ok := sh.entries[k]; !ok {
+			continue // already removed as an earlier victim's mirror
+		}
+		delete(sh.entries, k)
+		removed++
+		if m := mirrorKey(k); m != k {
+			if _, ok := sh.entries[m]; ok {
+				delete(sh.entries, m)
+				removed++
+			}
+		}
+		if removed >= quota {
+			break
+		}
+	}
+	return removed
+}
+
+// pairKey packs an ordered ID pair into the store's map key.
+func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// mirrorKey returns the key of the reversed pair.
+func mirrorKey(k uint64) uint64 { return k<<32 | k>>32 }
+
+// shardIndex maps an ID pair to its shard.  The hash is computed over the
+// unordered pair so (a,b) and (b,a) — whose results mirror each other and
+// are stored together — land in the same shard.
+func shardIndex(a, b uint32) int {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := uint64(lo)<<32 | uint64(hi)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h & (numShards - 1))
+}
+
+// PairCache memoizes game results per distinct strategy pair, keyed by the
+// dense IDs of an intern.Registry rather than encoded strategy strings, so
+// the hot lookup path is integer arithmetic with no allocations.  The store
+// is sharded by unordered ID pair: hits take only a shard read lock and the
+// counters are atomics, so the worker goroutines of one rank do not
+// serialise on each other.  Results are pure functions of the pair; racing
+// workers at worst replay a pair once each and store the identical result
+// (counted once, keeping the play counter deterministic for a given seed).
+type PairCache struct {
+	eng         *game.Engine
+	gameID      string
+	reg         *intern.Registry
+	maxPerShard int
+
+	shards   [numShards]cacheShard
+	hits     atomic.Int64
+	misses   atomic.Int64
+	bypassed atomic.Int64
+	evicted  atomic.Int64
+}
+
+// NewPairCache returns an empty cache bound to the given engine, with a
+// fresh strategy-interning registry (see Interner).
 func NewPairCache(eng *game.Engine) (*PairCache, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("fitness: nil engine")
 	}
-	// Size the entry budget from the per-entry footprint: two encoded
-	// strategies per key plus the stored result.
-	entryBytes := 2*strategy.EncodedSize(eng.MemorySteps()) + 64
-	maxEntries := maxCacheBytes / entryBytes
-	if maxEntries < 4096 {
-		maxEntries = 4096
+	// Size the per-shard entry budget from the per-entry footprint: the
+	// uint64 key, the stored result and map overhead.
+	const entryBytes = 64
+	maxPerShard := maxCacheBytes / entryBytes / numShards
+	if maxPerShard < 64 {
+		maxPerShard = 64
 	}
-	return &PairCache{eng: eng, gameID: eng.GameID(), maxEntries: maxEntries, entries: make(map[pairKey]game.Result)}, nil
+	c := &PairCache{eng: eng, gameID: eng.GameID(), reg: intern.NewRegistry(), maxPerShard: maxPerShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]game.Result)
+	}
+	return c, nil
 }
 
 // CacheUsable reports whether the cache-validity conditions hold for a
 // whole run over the given strategy table: a noiseless engine and an
-// all-deterministic table.  Learning only copies strategies and the
-// mutation operator only generates pure ones, so a table that starts
-// deterministic stays deterministic; both engines use this single gate to
-// decide whether to route evaluation through the subsystem or fall back to
-// their full paths.
+// all-deterministic table of codec-encodable strategies (so every entry can
+// be interned).  Learning only copies strategies and the mutation operator
+// only generates pure ones, so a table that starts deterministic stays
+// deterministic; both engines use this single gate to decide whether to
+// route evaluation through the subsystem or fall back to their full paths.
 func CacheUsable(eng *game.Engine, table []strategy.Strategy) bool {
 	if eng == nil || eng.Noise() > 0 {
 		return false
 	}
 	for _, s := range table {
-		if s == nil || !s.Deterministic() {
+		if s == nil || !s.Deterministic() || !strategy.Encodable(s) {
 			return false
 		}
 	}
@@ -84,9 +160,15 @@ func CacheUsable(eng *game.Engine, table []strategy.Strategy) bool {
 // Engine returns the engine the cache plays games with.
 func (c *PairCache) Engine() *game.Engine { return c.eng }
 
-// GameID returns the canonical game identity incorporated into every cache
-// key.
+// GameID returns the canonical identity of the game every memoized result
+// belongs to.  A cache is bound to one engine, so results cannot leak
+// between scenarios by construction.
 func (c *PairCache) GameID() string { return c.gameID }
+
+// Interner returns the registry issuing the dense strategy IDs PlayID
+// accepts.  Engines intern their strategy tables through it once per
+// strategy-change event, so the per-game path never touches the codec.
+func (c *PairCache) Interner() *intern.Registry { return c.reg }
 
 // DeltaExact reports whether the IncrementalMatrix's delta updates are
 // bit-exact for the engine's game: with an integer-valued payoff matrix
@@ -119,16 +201,6 @@ func (c *PairCache) Cacheable(a, b strategy.Strategy) bool {
 	return c.eng.Noise() == 0 && a.Deterministic() && b.Deterministic()
 }
 
-// keyOf returns the canonical encoding of s, or ok=false for strategy
-// implementations the codec does not know.
-func keyOf(s strategy.Strategy) (string, bool) {
-	buf, err := strategy.Encode(s)
-	if err != nil {
-		return "", false
-	}
-	return string(buf), true
-}
-
 // swap returns the result seen from the opposite side of the board.
 func swap(r game.Result) game.Result {
 	return game.Result{
@@ -140,87 +212,115 @@ func swap(r game.Result) game.Result {
 	}
 }
 
-// Play returns the result of a game between focal strategy a and opponent
-// b.  Cacheable pairs (see Cacheable) are played at most once and served
-// from memory afterwards; non-cacheable pairs — the noise > 0 or mixed
-// strategy bypass — are played fresh every call with the supplied source,
-// exactly as the engine would without the cache.
-func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, error) {
-	if !c.Cacheable(a, b) {
-		res, err := c.eng.Play(a, b, src)
-		if err != nil {
-			return game.Result{}, err
-		}
-		c.mu.Lock()
-		c.plays++
-		c.mu.Unlock()
+// PlayID returns the result of a game between the strategies behind the
+// given interned IDs (issued by this cache's Interner).  The pair is played
+// at most once and served from memory afterwards; storing a result also
+// stores the mirrored result for the reversed pair.  The hit path performs
+// no allocations and takes only a shard read lock.
+func (c *PairCache) PlayID(a, b uint32) (game.Result, error) {
+	key := pairKey(a, b)
+	sh := &c.shards[shardIndex(a, b)]
+	sh.mu.RLock()
+	res, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
 		return res, nil
 	}
-	ka, okA := keyOf(a)
-	kb, okB := keyOf(b)
-	if !okA || !okB {
-		// Unknown strategy implementation: play without memoizing.
-		res, err := c.eng.Play(a, b, src)
-		if err != nil {
-			return game.Result{}, err
-		}
-		c.mu.Lock()
-		c.plays++
-		c.mu.Unlock()
-		return res, nil
-	}
-	key := pairKey{game: c.gameID, focal: ka, opp: kb}
 
-	c.mu.Lock()
-	if res, ok := c.entries[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		return res, nil
+	sa, err := c.reg.Strategy(a)
+	if err != nil {
+		return game.Result{}, fmt.Errorf("fitness: %w", err)
 	}
-	c.mu.Unlock()
-
+	sb, err := c.reg.Strategy(b)
+	if err != nil {
+		return game.Result{}, fmt.Errorf("fitness: %w", err)
+	}
 	// Deterministic, noiseless game: no source needed.  Played outside the
 	// lock so concurrent workers are not serialised on the kernel.
-	res, err := c.eng.Play(a, b, nil)
+	res, err = c.eng.Play(sa, sb, nil)
 	if err != nil {
 		return game.Result{}, err
 	}
-	c.mu.Lock()
+
+	sh.mu.Lock()
 	// Count the play only when this call actually stores the entry: two
 	// workers racing on the same uncached pair replay the identical game,
 	// and counting it once keeps the reported game totals deterministic for
 	// a given seed regardless of scheduling.
-	if _, ok := c.entries[key]; !ok {
-		c.plays++
-		if len(c.entries) >= c.maxEntries {
-			c.entries = make(map[pairKey]game.Result)
+	if _, ok := sh.entries[key]; !ok {
+		c.misses.Add(1)
+		if len(sh.entries) >= c.maxPerShard {
+			c.evicted.Add(int64(sh.evict()))
 		}
-		c.entries[key] = res
-		c.entries[pairKey{game: c.gameID, focal: kb, opp: ka}] = swap(res)
+		sh.entries[key] = res
+		if mk := mirrorKey(key); mk != key {
+			sh.entries[mk] = swap(res)
+		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
+	return res, nil
+}
+
+// Play returns the result of a game between focal strategy a and opponent
+// b.  Cacheable pairs (see Cacheable) are interned and served through
+// PlayID; non-cacheable pairs — the noise > 0 or mixed strategy bypass —
+// are played fresh every call with the supplied source, exactly as the
+// engine would without the cache, touching no locks beyond the atomic play
+// counter.  Engines that track IDs themselves should prefer PlayID, which
+// skips the per-call interning.
+func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, error) {
+	if !c.Cacheable(a, b) {
+		return c.playBypass(a, b, src)
+	}
+	ida, errA := c.reg.Intern(a)
+	idb, errB := c.reg.Intern(b)
+	if errA != nil || errB != nil {
+		// Unknown strategy implementation: play without memoizing.
+		return c.playBypass(a, b, src)
+	}
+	return c.PlayID(ida, idb)
+}
+
+// playBypass plays a game the cache must not memoize, counting it without
+// taking any lock.
+func (c *PairCache) playBypass(a, b strategy.Strategy, src *rng.Source) (game.Result, error) {
+	res, err := c.eng.Play(a, b, src)
+	if err != nil {
+		return game.Result{}, err
+	}
+	c.bypassed.Add(1)
 	return res, nil
 }
 
 // Plays returns the number of games actually executed by the engine through
 // this cache (cache misses plus bypassed games).  This is the quantity the
 // engines report as "games played".
-func (c *PairCache) Plays() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.plays
-}
+func (c *PairCache) Plays() int64 { return c.misses.Load() + c.bypassed.Load() }
 
-// Hits returns the number of Play calls served from memory.
-func (c *PairCache) Hits() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
-}
+// Hits returns the number of lookups served from memory.
+func (c *PairCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of cacheable lookups that executed the game
+// kernel and stored its result.
+func (c *PairCache) Misses() int64 { return c.misses.Load() }
+
+// Bypassed returns the number of non-cacheable games (noise, mixed or
+// non-codec strategies) played through the cache without being memoized.
+func (c *PairCache) Bypassed() int64 { return c.bypassed.Load() }
+
+// Evicted returns the number of memoized entries dropped by bounded
+// eviction after a shard reached its memory budget.
+func (c *PairCache) Evicted() int64 { return c.evicted.Load() }
 
 // Len returns the number of memoized ordered pairs.
 func (c *PairCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return total
 }

@@ -15,14 +15,20 @@ import (
 // other; under a structured topology only graph edges are evaluated, so a
 // row costs the SSet's degree in cache lookups instead of S-1.
 //
-// Rows are built lazily through a PairCache on the first Fitness request
+// Strategies are tracked as the dense interned IDs of the cache's registry,
+// so row rebuilds and delta updates go through PairCache.PlayID — integer
+// pair lookups with no per-game encoding or string keys.  Interning happens
+// once per strategy-change event in Update, which is O(events) over a run,
+// not O(games).
+//
+// Rows are built lazily through the PairCache on the first Fitness request
 // and kept current thereafter: when the strategy of SSet t changes, row t
 // is invalidated (rebuilt on next request) while every other built row
-// adjacent to t receives an O(1) delta update — subtract the stale payoff
-// against t, add the payoff against t's new strategy.  Only the range
-// [lo, hi) of rows is materialised, so a distributed rank pays memory only
-// for the block of SSets it owns while still tracking the full strategy
-// table.
+// adjacent to t receives an O(1) delta update to its sum — subtract the
+// stale payoff against t, add the payoff against t's new strategy.  Only
+// the range [lo, hi) of rows is materialised, so a distributed rank pays
+// memory only for the block of SSets it owns while still tracking the full
+// strategy table.
 //
 // IncrementalMatrix is only used for noiseless populations of deterministic
 // strategies (the engines bypass it otherwise), so every pair payoff is a
@@ -31,10 +37,10 @@ import (
 //
 // The type is not safe for concurrent use; each engine (or rank) owns one.
 type IncrementalMatrix struct {
-	cache      *PairCache
-	graph      topology.Graph // nil means well-mixed (all pairs interact)
-	strategies []strategy.Strategy
-	lo, hi     int
+	cache  *PairCache
+	graph  topology.Graph // nil means well-mixed (all pairs interact)
+	ids    []uint32       // interned strategy ID per SSet
+	lo, hi int
 
 	// pay[r] holds the focal payoffs of SSet lo+r.  Well-mixed (nil graph)
 	// rows are dense: pay[r][j] is the payoff against SSet j.  Graph rows
@@ -48,8 +54,9 @@ type IncrementalMatrix struct {
 // NewIncrementalMatrix returns a matrix tracking the given strategy table
 // and materialising the rows [lo, hi).  A nil graph selects the well-mixed
 // population (every pair interacts); a non-nil graph restricts evaluation
-// to its edges and must span exactly len(table) SSets.  The table is
-// copied; keep it current with Update.
+// to its edges and must span exactly len(table) SSets.  Every table entry
+// is interned into the cache's registry; keep the table current with
+// Update.
 func NewIncrementalMatrix(cache *PairCache, g topology.Graph, table []strategy.Strategy, lo, hi int) (*IncrementalMatrix, error) {
 	if cache == nil {
 		return nil, fmt.Errorf("fitness: nil pair cache")
@@ -60,10 +67,16 @@ func NewIncrementalMatrix(cache *PairCache, g topology.Graph, table []strategy.S
 	if g != nil && g.Len() != len(table) {
 		return nil, fmt.Errorf("fitness: graph spans %d SSets but the table has %d", g.Len(), len(table))
 	}
+	ids := make([]uint32, len(table))
 	for i, s := range table {
 		if s == nil {
 			return nil, fmt.Errorf("fitness: nil strategy at index %d", i)
 		}
+		id, err := cache.Interner().Intern(s)
+		if err != nil {
+			return nil, fmt.Errorf("fitness: interning strategy %d: %w", i, err)
+		}
+		ids[i] = id
 	}
 	if g != nil && g.Complete() {
 		// The complete graph is the well-mixed population; drop it so the
@@ -71,14 +84,14 @@ func NewIncrementalMatrix(cache *PairCache, g topology.Graph, table []strategy.S
 		g = nil
 	}
 	m := &IncrementalMatrix{
-		cache:      cache,
-		graph:      g,
-		strategies: append([]strategy.Strategy(nil), table...),
-		lo:         lo,
-		hi:         hi,
-		pay:        make([][]float64, hi-lo),
-		sums:       make([]float64, hi-lo),
-		built:      make([]bool, hi-lo),
+		cache: cache,
+		graph: g,
+		ids:   ids,
+		lo:    lo,
+		hi:    hi,
+		pay:   make([][]float64, hi-lo),
+		sums:  make([]float64, hi-lo),
+		built: make([]bool, hi-lo),
 	}
 	for r := range m.pay {
 		if g != nil {
@@ -109,7 +122,7 @@ func neighborPos(g topology.Graph, i, j int) int {
 }
 
 // Len returns the number of SSets tracked.
-func (m *IncrementalMatrix) Len() int { return len(m.strategies) }
+func (m *IncrementalMatrix) Len() int { return len(m.ids) }
 
 // Rows returns the half-open range of rows this matrix materialises.
 func (m *IncrementalMatrix) Rows() (lo, hi int) { return m.lo, m.hi }
@@ -119,7 +132,7 @@ func (m *IncrementalMatrix) GamesPlayed() int64 { return m.cache.Plays() }
 
 func (m *IncrementalMatrix) buildRow(i int) error {
 	r := i - m.lo
-	my := m.strategies[i]
+	my := m.ids[i]
 	sum := 0.0
 	if m.graph != nil {
 		// Degree-indexed row: entry k is the payoff against the k-th
@@ -127,7 +140,7 @@ func (m *IncrementalMatrix) buildRow(i int) error {
 		deg := m.graph.Degree(i)
 		for k := 0; k < deg; k++ {
 			j := m.graph.Neighbor(i, k)
-			res, err := m.cache.Play(my, m.strategies[j], nil)
+			res, err := m.cache.PlayID(my, m.ids[j])
 			if err != nil {
 				return fmt.Errorf("fitness: row %d vs %d: %w", i, j, err)
 			}
@@ -138,12 +151,12 @@ func (m *IncrementalMatrix) buildRow(i int) error {
 		m.built[r] = true
 		return nil
 	}
-	for j := range m.strategies {
+	for j := range m.ids {
 		if j == i {
 			m.pay[r][j] = 0
 			continue
 		}
-		res, err := m.cache.Play(my, m.strategies[j], nil)
+		res, err := m.cache.PlayID(my, m.ids[j])
 		if err != nil {
 			return fmt.Errorf("fitness: row %d vs %d: %w", i, j, err)
 		}
@@ -171,18 +184,23 @@ func (m *IncrementalMatrix) Fitness(i int) (float64, error) {
 }
 
 // Update records that SSet idx now holds strategy s (an adoption or
-// mutation event).  Row idx is invalidated; every other built row that
-// interacts with idx gets a delta update of its column idx, costing one
-// cache lookup each — O(S) work well-mixed, O(degree) under a sparse
-// topology, with new game kernels only for pairs never seen before.
+// mutation event).  The new strategy is interned once; row idx is
+// invalidated and every other built row that interacts with idx gets a
+// delta update of its column idx, costing one ID-pair cache lookup each —
+// O(S) work well-mixed, O(degree) under a sparse topology, with new game
+// kernels only for pairs never seen before.
 func (m *IncrementalMatrix) Update(idx int, s strategy.Strategy) error {
-	if idx < 0 || idx >= len(m.strategies) {
-		return fmt.Errorf("fitness: update index %d outside table of %d strategies", idx, len(m.strategies))
+	if idx < 0 || idx >= len(m.ids) {
+		return fmt.Errorf("fitness: update index %d outside table of %d strategies", idx, len(m.ids))
 	}
 	if s == nil {
 		return fmt.Errorf("fitness: nil strategy in update")
 	}
-	m.strategies[idx] = s
+	id, err := m.cache.Interner().Intern(s)
+	if err != nil {
+		return fmt.Errorf("fitness: interning update: %w", err)
+	}
+	m.ids[idx] = id
 	if m.graph != nil {
 		// Only idx's neighbors interact with it: walk the neighbor list
 		// (ascending, like the row scan below) instead of scanning and
@@ -197,7 +215,7 @@ func (m *IncrementalMatrix) Update(idx int, s strategy.Strategy) error {
 			if col < 0 {
 				return fmt.Errorf("fitness: graph edge %d->%d has no reverse edge", idx, i)
 			}
-			if err := m.deltaUpdate(i, idx, col, s); err != nil {
+			if err := m.deltaUpdate(i, idx, col, id); err != nil {
 				return err
 			}
 		}
@@ -207,7 +225,7 @@ func (m *IncrementalMatrix) Update(idx int, s strategy.Strategy) error {
 			if i == idx || !m.built[r] {
 				continue
 			}
-			if err := m.deltaUpdate(i, idx, idx, s); err != nil {
+			if err := m.deltaUpdate(i, idx, idx, id); err != nil {
 				return err
 			}
 		}
@@ -218,13 +236,14 @@ func (m *IncrementalMatrix) Update(idx int, s strategy.Strategy) error {
 	return nil
 }
 
-// deltaUpdate refreshes built row i after idx's strategy changed to s:
-// subtract the stale pair payoff from the row sum, add the new one.  col
-// is the row-local payoff index of idx (idx itself for dense well-mixed
-// rows, idx's neighbor position for degree-indexed graph rows).
-func (m *IncrementalMatrix) deltaUpdate(i, idx, col int, s strategy.Strategy) error {
+// deltaUpdate refreshes built row i after idx's strategy changed to the
+// strategy behind id: subtract the stale pair payoff from the row sum, add
+// the new one.  col is the row-local payoff index of idx (idx itself for
+// dense well-mixed rows, idx's neighbor position for degree-indexed graph
+// rows).
+func (m *IncrementalMatrix) deltaUpdate(i, idx, col int, id uint32) error {
 	r := i - m.lo
-	res, err := m.cache.Play(m.strategies[i], s, nil)
+	res, err := m.cache.PlayID(m.ids[i], id)
 	if err != nil {
 		return fmt.Errorf("fitness: delta update row %d vs %d: %w", i, idx, err)
 	}

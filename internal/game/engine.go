@@ -59,6 +59,8 @@ type Engine struct {
 	memSteps  int
 	stateMode StateMode
 	accumMode AccumMode
+	kernel    KernelMode
+	intPayoff bool
 	states    *StateTable
 }
 
@@ -84,6 +86,11 @@ type EngineConfig struct {
 	StateMode StateMode
 	// AccumMode selects branching or look-up fitness accumulation.
 	AccumMode AccumMode
+	// Kernel selects the deterministic-game inner loop: the zero value,
+	// KernelAuto, closes the joint-state cycle in closed form whenever that
+	// is bit-exact (see KernelMode); KernelFullReplay forces the
+	// round-by-round reference loop.
+	Kernel KernelMode
 }
 
 // DefaultRounds is the number of IPD rounds per generation used throughout
@@ -111,6 +118,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.MemorySteps < 1 || cfg.MemorySteps > MaxMemorySteps {
 		return nil, fmt.Errorf("game: memory steps must be in [1,%d], got %d", MaxMemorySteps, cfg.MemorySteps)
 	}
+	if !cfg.Kernel.Valid() {
+		return nil, fmt.Errorf("game: invalid kernel mode %v", cfg.Kernel)
+	}
 	e := &Engine{
 		spec:      cfg.Game,
 		payoff:    cfg.Payoff,
@@ -120,6 +130,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		memSteps:  cfg.MemorySteps,
 		stateMode: cfg.StateMode,
 		accumMode: cfg.AccumMode,
+		kernel:    cfg.Kernel,
+		intPayoff: cfg.Payoff.IntegerValued(),
 	}
 	if cfg.StateMode == StateLinearSearch {
 		e.states = NewStateTable(cfg.MemorySteps)
@@ -138,6 +150,9 @@ func (e *Engine) Noise() float64 { return e.noise }
 
 // Payoff returns the engine's payoff matrix.
 func (e *Engine) Payoff() Matrix { return e.payoff }
+
+// Kernel returns the engine's kernel mode.
+func (e *Engine) Kernel() KernelMode { return e.kernel }
 
 // Game returns the scenario spec the engine plays (with the effective
 // payoff matrix installed).
@@ -191,6 +206,14 @@ func (e *Engine) Play(a, b Player, src *rng.Source) (Result, error) {
 	if needRand && src == nil {
 		return Result{}, fmt.Errorf("game: rng source required (noise=%v, deterministic=%v/%v)",
 			e.noise, a.Deterministic(), b.Deterministic())
+	}
+	if !needRand && e.kernel == KernelAuto && e.intPayoff {
+		// Deterministic noiseless game over an integer-valued payoff matrix:
+		// the joint-state walk is periodic and the closed-form totals are
+		// bit-identical to a full replay (see KernelMode).
+		if res, ok := e.playCycleClosing(a, b); ok {
+			return res, nil
+		}
 	}
 
 	histA := NewHistory(e.memSteps)

@@ -1,0 +1,202 @@
+package game
+
+import "fmt"
+
+// KernelMode selects the inner-loop implementation Engine.Play uses for a
+// fully deterministic, noiseless game.
+//
+// The joint (stateA, stateB) trajectory of two deterministic memory-n
+// automata is itself a deterministic walk over at most 4^n x 4^n joint
+// states, so it must enter a cycle within that many rounds (16 joint states
+// at the paper's memory-one).  Once the cycle is known, the totals of a
+// rounds-long game follow in closed form — prefix + k*cycle + tail — instead
+// of replaying every round.  With an integer-valued payoff matrix every
+// partial sum is an exactly representable integer, so the closed form is
+// bit-identical to the replayed sum; engines therefore keep their
+// per-seed trajectories unchanged whichever mode runs.
+type KernelMode int
+
+const (
+	// KernelAuto (the default) closes the joint-state cycle whenever the
+	// game qualifies: noiseless, both players deterministic with packed move
+	// tables (see MoveTable), and an integer-valued payoff matrix.  Games
+	// that do not qualify replay every round exactly as KernelFullReplay.
+	KernelAuto KernelMode = iota
+	// KernelFullReplay always replays all rounds; it is the pre-optimization
+	// reference kernel and the baseline the perf tables compare against.
+	KernelFullReplay
+)
+
+// String implements fmt.Stringer.
+func (m KernelMode) String() string {
+	switch m {
+	case KernelAuto:
+		return "auto"
+	case KernelFullReplay:
+		return "full-replay"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined kernel modes.
+func (m KernelMode) Valid() bool { return m == KernelAuto || m == KernelFullReplay }
+
+// ParseKernelMode maps the names accepted by command-line flags ("auto",
+// "full-replay") to a KernelMode; the empty string selects KernelAuto.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "full-replay":
+		return KernelFullReplay, nil
+	default:
+		return KernelAuto, fmt.Errorf("game: unknown kernel mode %q (want auto or full-replay)", s)
+	}
+}
+
+// MoveTable is implemented by deterministic players whose per-state moves
+// are available as a packed bit vector: bit s of the word slice is 1 when
+// the player defects in state s.  strategy.Pure implements it.  The
+// cycle-closing kernel requires it so the per-round inner loop is plain
+// word arithmetic with no interface dispatch; deterministic players without
+// it simply take the full-replay path.
+type MoveTable interface {
+	// Words returns the packed move table, least-significant bit first.  The
+	// slice must not be modified and must cover all 4^n states.
+	Words() []uint64
+}
+
+// cycleKernel is the state of one cycle-closing game: both players' packed
+// move tables, the per-round payoff lookup table and the state geometry.
+// It lives entirely on the caller's stack, keeping the fast path free of
+// heap allocations.
+type cycleKernel struct {
+	wa, wb []uint64
+	table  [4]float64
+	mask   int
+	shift  uint
+}
+
+// next advances the joint state one round without accumulating anything;
+// used by the cycle-detection phase.
+func (k *cycleKernel) next(s int) int {
+	sA := s >> k.shift
+	sB := s & k.mask
+	ma := int(k.wa[sA>>6]>>(uint(sA)&63)) & 1
+	mb := int(k.wb[sB>>6]>>(uint(sB)&63)) & 1
+	sA = ((sA << 2) | ma<<1 | mb) & k.mask
+	sB = ((sB << 2) | mb<<1 | ma) & k.mask
+	return sA<<k.shift | sB
+}
+
+// accum collects the per-phase totals of the closed form.
+type accum struct {
+	fitA, fitB   float64
+	coopA, coopB int
+}
+
+// round plays one round from joint state s, adds its payoffs and
+// cooperation counts to a, and returns the next joint state.
+func (k *cycleKernel) round(s int, a *accum) int {
+	sA := s >> k.shift
+	sB := s & k.mask
+	ma := int(k.wa[sA>>6]>>(uint(sA)&63)) & 1
+	mb := int(k.wb[sB>>6]>>(uint(sB)&63)) & 1
+	a.fitA += k.table[ma<<1|mb]
+	a.fitB += k.table[mb<<1|ma]
+	a.coopA += 1 - ma
+	a.coopB += 1 - mb
+	sA = ((sA << 2) | ma<<1 | mb) & k.mask
+	sB = ((sB << 2) | mb<<1 | ma) & k.mask
+	return sA<<k.shift | sB
+}
+
+// playCycleClosing runs the cycle-closing fast path: Brent's cycle
+// detection over the joint-state walk, then the game totals as
+// prefix + k*cycle + tail.  It reports ok=false when the fast path does not
+// apply (a player without a packed move table, or a trajectory whose cycle
+// closes too late to save work), in which case the caller must replay the
+// game in full.  Callers guarantee the game is noiseless, both players are
+// deterministic, and the payoff matrix is integer-valued.
+func (e *Engine) playCycleClosing(a, b Player) (Result, bool) {
+	wta, ok := a.(MoveTable)
+	if !ok {
+		return Result{}, false
+	}
+	wtb, ok := b.(MoveTable)
+	if !ok {
+		return Result{}, false
+	}
+	k := cycleKernel{
+		wa:    wta.Words(),
+		wb:    wtb.Words(),
+		table: e.table,
+		mask:  (1 << (2 * uint(e.memSteps))) - 1,
+		shift: 2 * uint(e.memSteps),
+	}
+	rounds := e.rounds
+
+	// Brent's algorithm: find the cycle length lam, bounding the search so a
+	// cycle that closes beyond the game's horizon falls back to full replay
+	// (which is no more work than the search already did).
+	power, lam := 1, 1
+	tortoise := InitialState<<k.shift | InitialState
+	hare := k.next(tortoise)
+	steps := 1
+	for tortoise != hare {
+		if steps >= 2*rounds {
+			return Result{}, false
+		}
+		if power == lam {
+			tortoise = hare
+			power <<= 1
+			lam = 0
+		}
+		hare = k.next(hare)
+		lam++
+		steps++
+	}
+	// Find the cycle start mu with two pointers lam apart.
+	mu := 0
+	tortoise = InitialState<<k.shift | InitialState
+	hare = tortoise
+	for i := 0; i < lam; i++ {
+		hare = k.next(hare)
+	}
+	for tortoise != hare {
+		tortoise = k.next(tortoise)
+		hare = k.next(hare)
+		mu++
+	}
+	if mu+lam >= rounds {
+		// The game ends before completing one full cycle beyond the prefix;
+		// the closed form degenerates to a replay, so let the caller do it.
+		return Result{}, false
+	}
+
+	// Accumulate the prefix (mu rounds), one full cycle (lam rounds) and the
+	// tail ((rounds-mu) mod lam rounds from the cycle start).
+	var pre, cyc, tail accum
+	s := InitialState<<k.shift | InitialState
+	for i := 0; i < mu; i++ {
+		s = k.round(s, &pre)
+	}
+	for i := 0; i < lam; i++ {
+		s = k.round(s, &cyc)
+	}
+	reps := (rounds - mu) / lam
+	rem := (rounds - mu) % lam
+	for i := 0; i < rem; i++ {
+		s = k.round(s, &tail)
+	}
+	// Integer-valued payoffs make every term an exact integer, so the closed
+	// form reproduces the sequential sum bit for bit.
+	return Result{
+		FitnessA:      pre.fitA + float64(reps)*cyc.fitA + tail.fitA,
+		FitnessB:      pre.fitB + float64(reps)*cyc.fitB + tail.fitB,
+		CooperationsA: pre.coopA + reps*cyc.coopA + tail.coopA,
+		CooperationsB: pre.coopB + reps*cyc.coopB + tail.coopB,
+		Rounds:        rounds,
+	}, true
+}

@@ -1,0 +1,256 @@
+package game
+
+import (
+	"fmt"
+	"testing"
+
+	"evogame/internal/rng"
+)
+
+// wordPlayer is a deterministic player backed by a packed move table, the
+// shape the cycle-closing kernel requires (strategy.Pure has the same shape;
+// the game package cannot import it without a cycle).
+type wordPlayer struct {
+	mem   int
+	words []uint64
+}
+
+func newWordPlayer(mem int) *wordPlayer {
+	n := NumStates(mem)
+	return &wordPlayer{mem: mem, words: make([]uint64, (n+63)/64)}
+}
+
+func randomWordPlayer(mem int, src *rng.Source) *wordPlayer {
+	p := newWordPlayer(mem)
+	src.FillUint64(p.words)
+	if rem := NumStates(mem) % 64; rem != 0 {
+		p.words[len(p.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return p
+}
+
+func (p *wordPlayer) MemorySteps() int { return p.mem }
+
+func (p *wordPlayer) Deterministic() bool { return true }
+
+func (p *wordPlayer) Words() []uint64 { return p.words }
+
+func (p *wordPlayer) Move(state int, _ *rng.Source) Move {
+	return Move(p.words[state>>6] >> (uint(state) & 63) & 1)
+}
+
+func (p *wordPlayer) set(state int, m Move) {
+	if m == Defect {
+		p.words[state>>6] |= 1 << (uint(state) & 63)
+	} else {
+		p.words[state>>6] &^= 1 << (uint(state) & 63)
+	}
+}
+
+func TestKernelModeStringAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		mode KernelMode
+		name string
+	}{{KernelAuto, "auto"}, {KernelFullReplay, "full-replay"}} {
+		if tc.mode.String() != tc.name {
+			t.Errorf("%d.String() = %q, want %q", tc.mode, tc.mode.String(), tc.name)
+		}
+		got, err := ParseKernelMode(tc.name)
+		if err != nil || got != tc.mode {
+			t.Errorf("ParseKernelMode(%q) = %v, %v", tc.name, got, err)
+		}
+		if !tc.mode.Valid() {
+			t.Errorf("%v should be valid", tc.mode)
+		}
+	}
+	if m, err := ParseKernelMode(""); err != nil || m != KernelAuto {
+		t.Errorf("empty selection = %v, %v; want KernelAuto", m, err)
+	}
+	if _, err := ParseKernelMode("bogus"); err == nil {
+		t.Error("ParseKernelMode accepted an unknown mode")
+	}
+	if KernelMode(9).Valid() {
+		t.Error("out-of-range mode should be invalid")
+	}
+	if KernelMode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+	if _, err := NewEngine(EngineConfig{Rounds: 10, MemorySteps: 1, Kernel: KernelMode(9)}); err == nil {
+		t.Error("NewEngine accepted an invalid kernel mode")
+	}
+}
+
+// kernelEnginePair builds one engine per kernel mode with otherwise
+// identical configuration.
+func kernelEnginePair(t *testing.T, cfg EngineConfig) (auto, full *Engine) {
+	t.Helper()
+	cfg.Kernel = KernelAuto
+	a, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Kernel = KernelFullReplay
+	f, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, f
+}
+
+// TestCycleClosingExhaustiveMemoryOne pins the cycle-closing kernel to the
+// full-replay reference over every ordered pair of the 16 memory-one
+// deterministic strategies and a spread of round counts (including counts
+// small enough that the fast path must fall back).
+func TestCycleClosingExhaustiveMemoryOne(t *testing.T) {
+	players := make([]*wordPlayer, 16)
+	for code := 0; code < 16; code++ {
+		p := newWordPlayer(1)
+		for s := 0; s < 4; s++ {
+			if code&(1<<uint(s)) != 0 {
+				p.set(s, Defect)
+			}
+		}
+		players[code] = p
+	}
+	for _, rounds := range []int{1, 2, 3, 5, 17, 50, 200} {
+		auto, full := kernelEnginePair(t, EngineConfig{Rounds: rounds, MemorySteps: 1,
+			StateMode: StateRolling, AccumMode: AccumLookup})
+		for i, a := range players {
+			for j, b := range players {
+				want, err := full.Play(a, b, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := auto.Play(a, b, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("rounds=%d pair (%d,%d): cycle-closing %+v, full replay %+v",
+						rounds, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCycleClosingRandomDeeperMemory cross-checks random strategy pairs at
+// memory depths two through four, where the joint-state space is too large
+// to enumerate but cycles still close quickly.
+func TestCycleClosingRandomDeeperMemory(t *testing.T) {
+	src := rng.New(99)
+	for mem := 2; mem <= 4; mem++ {
+		auto, full := kernelEnginePair(t, EngineConfig{Rounds: DefaultRounds, MemorySteps: mem,
+			StateMode: StateRolling, AccumMode: AccumLookup})
+		for trial := 0; trial < 40; trial++ {
+			a := randomWordPlayer(mem, src)
+			b := randomWordPlayer(mem, src)
+			want, err := full.Play(a, b, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := auto.Play(a, b, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("memory-%d trial %d: cycle-closing %+v, full replay %+v", mem, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCycleClosingGates verifies the bit-exactness gates: a fractional
+// payoff matrix and players without packed move tables both run full replay
+// (observable as the replay path's History allocations), while the
+// qualifying configuration runs allocation-free.
+func TestCycleClosingGates(t *testing.T) {
+	a := newWordPlayer(1)
+	b := newWordPlayer(1)
+	b.set(0, Defect)
+	b.set(2, Defect)
+
+	auto, _ := kernelEnginePair(t, EngineConfig{Rounds: DefaultRounds, MemorySteps: 1,
+		StateMode: StateRolling, AccumMode: AccumLookup})
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := auto.Play(a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("deterministic fast path allocates %v objects/op, want 0", n)
+	}
+
+	// Fractional payoffs: KernelAuto must not take the closed form.
+	frac, err := Generic().WithPayoff(Matrix{Reward: 3.25, Sucker: 0.5, Temptation: 4.75, Punishment: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracAuto, err := NewEngine(EngineConfig{Game: frac, Rounds: DefaultRounds, MemorySteps: 1,
+		StateMode: StateRolling, AccumMode: AccumLookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		if _, err := fracAuto.Play(a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); n == 0 {
+		t.Error("fractional payoff matrix still took the cycle-closing path")
+	}
+
+	// Deterministic players without packed move tables fall back too.
+	plain := makeMemOne(Cooperate, Defect, Cooperate, Defect)
+	if n := testing.AllocsPerRun(10, func() {
+		if _, err := auto.Play(plain, plain, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); n == 0 {
+		t.Error("player without a move table still took the cycle-closing path")
+	}
+}
+
+// TestCycleClosingSelfPlay covers the symmetric self-play diagonal, whose
+// mirror key equals its own key.
+func TestCycleClosingSelfPlay(t *testing.T) {
+	src := rng.New(3)
+	auto, full := kernelEnginePair(t, EngineConfig{Rounds: DefaultRounds, MemorySteps: 1,
+		StateMode: StateRolling, AccumMode: AccumLookup})
+	for trial := 0; trial < 16; trial++ {
+		p := randomWordPlayer(1, src)
+		want, err := full.Play(p, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := auto.Play(p, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("self-play trial %d: %+v vs %+v", trial, got, want)
+		}
+		if got.FitnessA != got.FitnessB || got.CooperationsA != got.CooperationsB {
+			t.Fatalf("self-play must be symmetric: %+v", got)
+		}
+	}
+}
+
+func BenchmarkKernelMemoryOne(b *testing.B) {
+	src := rng.New(11)
+	a := randomWordPlayer(1, src)
+	p := randomWordPlayer(1, src)
+	for _, mode := range []KernelMode{KernelFullReplay, KernelAuto} {
+		eng, err := NewEngine(EngineConfig{Rounds: DefaultRounds, MemorySteps: 1,
+			StateMode: StateRolling, AccumMode: AccumLookup, Kernel: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("kernel-%s", mode), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Play(a, p, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -94,6 +94,18 @@ func (o OptLevel) accumMode() game.AccumMode {
 // nonBlocking reports whether fitness returns use non-blocking sends.
 func (o OptLevel) nonBlocking() bool { return o >= OptNonBlockingComm }
 
+// kernelMode resolves the game-kernel mode for the optimization level: the
+// levels below the paper's "Compiler" tier reproduce the original
+// round-by-round kernel faithfully (that is what the Figure 3 ablation
+// measures), so the cycle-closing fast path only engages from OptStateLookup
+// upward, and even there the requested mode can force a full replay.
+func (o OptLevel) kernelMode(requested game.KernelMode) game.KernelMode {
+	if o < OptStateLookup {
+		return game.KernelFullReplay
+	}
+	return requested
+}
+
 // Config describes a distributed run.
 type Config struct {
 	// Ranks is the total number of ranks including the Nature Agent at rank
@@ -140,6 +152,12 @@ type Config struct {
 	// OptLevel selects the Figure 3 optimization level; the zero value is
 	// OptOriginal.  Use OptFusedFitness for production runs.
 	OptLevel OptLevel
+	// Kernel selects the deterministic-game inner loop (the zero value,
+	// game.KernelAuto, closes the joint-state cycle in closed form whenever
+	// that is bit-exact).  Levels below OptStateLookup always replay in
+	// full, preserving the Figure 3 ablation's original kernel.  All kernel
+	// modes produce identical trajectories per seed.
+	Kernel game.KernelMode
 	// InitialStrategies optionally fixes the initial strategy table (length
 	// NumSSets); when nil the table is drawn uniformly at random, matching
 	// the serial engine's initialisation for the same Seed.
@@ -226,6 +244,9 @@ func (c Config) validate() error {
 	}
 	if !c.EvalMode.Valid() {
 		return fmt.Errorf("parallel: invalid eval mode %v", c.EvalMode)
+	}
+	if !c.Kernel.Valid() {
+		return fmt.Errorf("parallel: invalid kernel mode %v", c.Kernel)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("parallel: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
@@ -671,6 +692,7 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		Noise:       cfg.Noise,
 		StateMode:   cfg.OptLevel.stateMode(),
 		AccumMode:   cfg.OptLevel.accumMode(),
+		Kernel:      cfg.OptLevel.kernelMode(cfg.Kernel),
 	})
 	if err != nil {
 		return RankReport{}, err
@@ -714,8 +736,16 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	// Agent's broadcast strategy-table updates as row/column invalidations.
 	// Noisy or mixed populations fall back to the full evaluation path so
 	// the trajectory is bit-identical to EvalFull.
+	//
+	// In EvalCached mode the rank also keeps the interned ID of every table
+	// entry (ids), re-interning only on broadcast strategy-table updates, so
+	// the per-generation game loop looks pairs up by ID with no strategy
+	// encoding and no allocations.  EvalIncremental reads the matrix's
+	// maintained row sums instead, and the matrix tracks its own IDs, so
+	// neither the mirror nor the opponent buffers below are built for it.
 	var cache *fitness.PairCache
 	var matrix *fitness.IncrementalMatrix
+	var ids []uint32
 	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
 	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, table) {
 		cache, err = fitness.NewPairCache(engine)
@@ -726,6 +756,34 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 			matrix, err = fitness.NewIncrementalMatrix(cache, graph, table, lo, hi)
 			if err != nil {
 				return RankReport{}, err
+			}
+		} else {
+			ids = make([]uint32, len(table))
+			for i, s := range table {
+				// CacheUsable guarantees every entry is encodable.
+				if ids[i], err = cache.Interner().Intern(s); err != nil {
+					return RankReport{}, fmt.Errorf("parallel: rank %d interning table: %w", c.Rank(), err)
+				}
+			}
+		}
+	}
+
+	// Per-local-SSet opponent buffers, allocated once and refilled per
+	// generation: the neighbor lists are static, only the strategies (and
+	// their IDs) behind them change.  The matrix path never walks
+	// opponents, so EvalIncremental skips the buffers entirely.
+	var oppStrats [][]strategy.Strategy
+	var oppIDs [][]uint32
+	if matrix == nil {
+		oppStrats = make([][]strategy.Strategy, len(locals))
+		if cache != nil {
+			oppIDs = make([][]uint32, len(locals))
+		}
+		for li, s := range locals {
+			deg := graph.Degree(s.ID())
+			oppStrats[li] = make([]strategy.Strategy, deg)
+			if cache != nil {
+				oppIDs[li] = make([]uint32, deg)
 			}
 		}
 	}
@@ -763,19 +821,30 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 					return nil
 				}
 				for li, s := range locals {
-					deg := graph.Degree(s.ID())
-					opponents := make([]strategy.Strategy, deg)
-					for k := 0; k < deg; k++ {
-						opponents[k] = table[graph.Neighbor(s.ID(), k)]
+					opponents := oppStrats[li]
+					var selfID uint32
+					var idList []uint32
+					for k := range opponents {
+						j := graph.Neighbor(s.ID(), k)
+						opponents[k] = table[j]
+						if cache != nil {
+							oppIDs[li][k] = ids[j]
+						}
+					}
+					if cache != nil {
+						selfID = ids[s.ID()]
+						idList = oppIDs[li]
 					}
 					var src *rng.Source
 					if cfg.Noise > 0 {
 						src = rng.New(mixSeed(cfg.Seed, start+gen, s.ID()))
 					}
 					f, err := s.Fitness(engine, opponents, sset.FitnessOptions{
-						Workers: cfg.WorkersPerRank,
-						Source:  src,
-						Cache:   cache,
+						Workers:     cfg.WorkersPerRank,
+						Source:      src,
+						Cache:       cache,
+						SelfID:      selfID,
+						OpponentIDs: idList,
 					})
 					if err != nil {
 						return err
@@ -825,12 +894,12 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 			return RankReport{}, err
 		}
 		if update.learning {
-			if err := applyTableChange(table, locals, matrix, lo, hi, update.learner, update.learnerStrategy); err != nil {
+			if err := applyTableChange(table, ids, cache, locals, matrix, lo, hi, update.learner, update.learnerStrategy); err != nil {
 				return RankReport{}, err
 			}
 		}
 		if update.mutation {
-			if err := applyTableChange(table, locals, matrix, lo, hi, update.target, update.targetStrategy); err != nil {
+			if err := applyTableChange(table, ids, cache, locals, matrix, lo, hi, update.target, update.targetStrategy); err != nil {
 				return RankReport{}, err
 			}
 		}
@@ -851,12 +920,21 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 }
 
 // applyTableChange installs a broadcast strategy-table update on an SSet
-// rank: the rank's copy of the global table, the local SSet if this rank
-// owns the changed index, and — in EvalIncremental mode — the rank's block
-// of the fitness matrix, where the change invalidates row idx and
+// rank: the rank's copy of the global table, the interned ID mirror when
+// the rank keeps one (EvalCached; one Intern call per event — the only
+// place that mode touches the codec after setup), the local SSet if this
+// rank owns the changed index, and — in EvalIncremental mode — the rank's
+// block of the fitness matrix, where the change invalidates row idx and
 // delta-updates column idx of every other local row.
-func applyTableChange(table []strategy.Strategy, locals []*sset.SSet, matrix *fitness.IncrementalMatrix, lo, hi, idx int, s strategy.Strategy) error {
+func applyTableChange(table []strategy.Strategy, ids []uint32, cache *fitness.PairCache, locals []*sset.SSet, matrix *fitness.IncrementalMatrix, lo, hi, idx int, s strategy.Strategy) error {
 	table[idx] = s
+	if ids != nil {
+		id, err := cache.Interner().Intern(s)
+		if err != nil {
+			return fmt.Errorf("parallel: interning table update: %w", err)
+		}
+		ids[idx] = id
+	}
 	if idx >= lo && idx < hi {
 		if err := locals[idx-lo].SetStrategy(s); err != nil {
 			return err

@@ -73,6 +73,10 @@ func Calibrate(gamesPerDepth int) (Calibration, error) {
 			MemorySteps: mem,
 			StateMode:   game.StateRolling,
 			AccumMode:   game.AccumLookup,
+			// The model prices per-round kernel work, so the calibration must
+			// replay every round; the cycle-closing kernel would execute only
+			// a fraction of them and understate SecondsPerRound.
+			Kernel: game.KernelFullReplay,
 		})
 		if err != nil {
 			return Calibration{}, err

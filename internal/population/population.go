@@ -18,6 +18,7 @@ import (
 	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
+	"evogame/internal/intern"
 	"evogame/internal/nature"
 	"evogame/internal/rng"
 	"evogame/internal/sset"
@@ -113,6 +114,12 @@ type Config struct {
 	// (Figure 3); the zero values are the optimized settings.
 	StateMode game.StateMode
 	AccumMode game.AccumMode
+	// Kernel selects the deterministic-game inner loop; the zero value,
+	// game.KernelAuto, closes the joint-state cycle in closed form whenever
+	// that is bit-exact, and game.KernelFullReplay forces the
+	// round-by-round reference loop.  All kernel modes produce identical
+	// trajectories per seed.
+	Kernel game.KernelMode
 	// InitialStrategies optionally fixes the initial strategy of each SSet;
 	// it must have exactly NumSSets entries.  When nil, every SSet starts
 	// with an independent uniformly random pure strategy, as in the paper's
@@ -235,6 +242,7 @@ func New(cfg Config) (*Model, error) {
 		Noise:       cfg.Noise,
 		StateMode:   cfg.StateMode,
 		AccumMode:   cfg.AccumMode,
+		Kernel:      cfg.Kernel,
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +298,12 @@ func New(cfg Config) (*Model, error) {
 			return nil, err
 		}
 		m.cache = cache
+		// CacheUsable guarantees every entry is encodable, so binding the
+		// table to the cache's registry cannot fail; from here on fitness
+		// lookups are ID pairs, never strategy encodings.
+		if err := table.Bind(cache.Interner()); err != nil {
+			return nil, fmt.Errorf("population: %w", err)
+		}
 		if evalMode == fitness.EvalIncremental {
 			mat, err := fitness.NewIncrementalMatrix(cache, graph, initial, 0, cfg.NumSSets)
 			if err != nil {
@@ -297,6 +311,13 @@ func New(cfg Config) (*Model, error) {
 			}
 			m.matrix = mat
 		}
+	} else {
+		// EvalFull (or the noise/mixed bypass): interning still pays off for
+		// the per-event distinct-pair cache of fitnessCached, which becomes
+		// an ID-pair map instead of a string-pair map.  A table holding
+		// strategies outside the codec simply stays unbound and the legacy
+		// string-keyed path takes over.
+		_ = table.Bind(intern.NewRegistry())
 	}
 	return m, nil
 }
@@ -493,6 +514,20 @@ func (m *Model) fitnessPair(a, b int) (float64, float64, error) {
 		}
 		return fa, fb, nil
 	default:
+		if m.table.Bound() {
+			// Distinct pairs are identified by interned ID, so the per-event
+			// cache is an integer-keyed map with no string building.
+			cache := make(map[uint64]float64)
+			fa, err := m.fitnessCachedID(a, cache)
+			if err != nil {
+				return 0, 0, err
+			}
+			fb, err := m.fitnessCachedID(b, cache)
+			if err != nil {
+				return 0, 0, err
+			}
+			return fa, fb, nil
+		}
 		cache := make(map[[2]string]float64)
 		fa, err := m.fitnessCached(a, cache)
 		if err != nil {
@@ -520,13 +555,15 @@ func (m *Model) opponents(i int) []strategy.Strategy {
 
 // fitnessViaPairCache sums SSet i's payoff against each of its neighbors
 // through the persistent pair cache (EvalCached): each distinct strategy
-// pair is played at most once per run.
+// pair is played at most once per run.  Lookups go by the table's interned
+// IDs, so steady-state evaluation allocates nothing and never re-encodes a
+// strategy.
 func (m *Model) fitnessViaPairCache(i int) (float64, error) {
-	my := m.table.Get(i)
+	my := m.table.ID(i)
 	total := 0.0
 	deg := m.graph.Degree(i)
 	for k := 0; k < deg; k++ {
-		res, err := m.cache.Play(my, m.table.Get(m.graph.Neighbor(i, k)), nil)
+		res, err := m.cache.PlayID(my, m.table.ID(m.graph.Neighbor(i, k)))
 		if err != nil {
 			return 0, err
 		}
@@ -545,8 +582,51 @@ func (m *Model) fitnessExact(i int) (float64, error) {
 	})
 }
 
+// fitnessCachedID is fitnessCached on interned IDs: the per-event
+// distinct-pair cache is keyed by packed ID pairs, so identifying a repeat
+// pair costs an integer map probe instead of building two string keys.  For
+// pure strategies the distinct-pair structure, the per-miss randomness
+// splits and therefore the trajectory are identical to the string-keyed
+// path.  For mixed strategies the ID keys are exact where String() was
+// lossy (it truncates to eight states at two decimals), so two nearly-equal
+// mixed strategies that used to collide — silently reusing the wrong
+// pair's payoff — are now evaluated separately.
+func (m *Model) fitnessCachedID(i int, cache map[uint64]float64) (float64, error) {
+	my := m.table.Get(i)
+	myID := m.table.ID(i)
+	total := 0.0
+	deg := m.graph.Degree(i)
+	for k := 0; k < deg; k++ {
+		j := m.graph.Neighbor(i, k)
+		oppID := m.table.ID(j)
+		key := uint64(myID)<<32 | uint64(oppID)
+		payoff, ok := cache[key]
+		if !ok {
+			opp := m.table.Get(j)
+			var src *rng.Source
+			if m.engine.Noise() > 0 || !my.Deterministic() || !opp.Deterministic() {
+				src = m.src.Split()
+			}
+			res, err := m.engine.Play(my, opp, src)
+			if err != nil {
+				return 0, err
+			}
+			m.games++
+			payoff = res.FitnessA
+			cache[key] = payoff
+			// The reverse pairing gives the opponent's payoff; cache it too
+			// since the partner SSet is usually evaluated next.
+			cache[uint64(oppID)<<32|uint64(myID)] = res.FitnessB
+		}
+		total += payoff
+	}
+	return total, nil
+}
+
 // fitnessCached computes the same sum but plays each distinct strategy pair
 // only once, reusing the result across SSets that hold identical strategies.
+// It is the fallback for tables holding strategies outside the codec (which
+// cannot be interned); fitnessCachedID is the normal path.
 func (m *Model) fitnessCached(i int, cache map[[2]string]float64) (float64, error) {
 	my := m.table.Get(i)
 	myKey := my.String()

@@ -121,12 +121,28 @@ type FitnessOptions struct {
 	// once per cache lifetime, while non-cacheable games bypass the cache
 	// transparently.  The cache is safe for the worker fan-out.
 	Cache *fitness.PairCache
+	// SelfID and OpponentIDs, when OpponentIDs is non-nil, carry the
+	// interned IDs (from Cache.Interner()) of the SSet's strategy and of
+	// each opponent, letting the batch go through the cache's allocation-free
+	// ID-pair path instead of re-encoding strategies per game.  OpponentIDs
+	// must align with the opponents slice; callers only set it when the
+	// whole-run cache-validity gate (fitness.CacheUsable) holds.
+	SelfID      uint32
+	OpponentIDs []uint32
 }
 
-// play runs one game of the batch, through the pair cache when one is
-// configured.
-func (o FitnessOptions) play(eng *game.Engine, my, opp strategy.Strategy, src *rng.Source) (float64, error) {
+// play runs game i of the batch, through the pair cache when one is
+// configured — by interned ID pair when the caller supplied IDs, which is
+// the allocation-free hot path.
+func (o FitnessOptions) play(eng *game.Engine, my, opp strategy.Strategy, i int, src *rng.Source) (float64, error) {
 	if o.Cache != nil {
+		if o.OpponentIDs != nil {
+			res, err := o.Cache.PlayID(o.SelfID, o.OpponentIDs[i])
+			if err != nil {
+				return 0, err
+			}
+			return res.FitnessA, nil
+		}
 		res, err := o.Cache.Play(my, opp, src)
 		if err != nil {
 			return 0, err
@@ -154,6 +170,14 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 	}
 	if len(opponents) == 0 {
 		return 0, nil
+	}
+	if opts.OpponentIDs != nil {
+		if opts.Cache == nil {
+			return 0, fmt.Errorf("sset: OpponentIDs require a Cache")
+		}
+		if len(opts.OpponentIDs) != len(opponents) {
+			return 0, fmt.Errorf("sset: %d opponent IDs for %d opponents", len(opts.OpponentIDs), len(opponents))
+		}
 	}
 
 	// Pre-derive one source per opponent so that the schedule (which worker
@@ -188,7 +212,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 			if perGame != nil {
 				src = perGame[i]
 			}
-			fit, err := opts.play(eng, s.strat, opp, src)
+			fit, err := opts.play(eng, s.strat, opp, i, src)
 			if err != nil {
 				return 0, fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
 			}
@@ -219,7 +243,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 				if perGame != nil {
 					src = perGame[i]
 				}
-				fit, err := opts.play(eng, s.strat, opp, src)
+				fit, err := opts.play(eng, s.strat, opp, i, src)
 				if err != nil {
 					errs[w] = fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
 					return

@@ -1,0 +1,105 @@
+package evogame
+
+// Kernel-mode equivalence: the cycle-closing fast path must be invisible in
+// every observable except wall clock.  These tests run the same seeds with
+// the kernel knob on and off, across both engines, eval modes, a structured
+// topology and a noisy configuration, and require identical trajectories
+// and event counts.  (The golden trajectories of golden_test.go pin the
+// default-on fast path to the recorded history as well.)
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestKernelModesBitIdenticalSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SimulationConfig
+	}{
+		{"full-eval", SimulationConfig{
+			NumSSets: 24, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 40,
+			PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 150, Seed: 11,
+		}},
+		{"incremental-ring", SimulationConfig{
+			NumSSets: 24, AgentsPerSSet: 2, MemorySteps: 2, Rounds: 60,
+			PCRate: 1, MutationRate: 0.2, Beta: 1, Generations: 120, Seed: 5,
+			EvalMode: EvalIncremental, Topology: "ring:4",
+		}},
+		{"noisy", SimulationConfig{
+			NumSSets: 16, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 30,
+			Noise: 0.05, PCRate: 1, MutationRate: 0.2, Beta: 1, Generations: 80, Seed: 3,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := tc.cfg
+			base.Kernel = "full-replay"
+			want, err := Simulate(context.Background(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := tc.cfg
+			fast.Kernel = "auto"
+			got, err := Simulate(context.Background(), fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
+				t.Fatalf("kernel modes diverged:\nauto        %v\nfull-replay %v",
+					got.FinalStrategies, want.FinalStrategies)
+			}
+			if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions ||
+				got.Mutations != want.Mutations || got.GamesPlayed != want.GamesPlayed {
+				t.Fatalf("event counts diverged: auto %d/%d/%d games %d, full-replay %d/%d/%d games %d",
+					got.PCEvents, got.Adoptions, got.Mutations, got.GamesPlayed,
+					want.PCEvents, want.Adoptions, want.Mutations, want.GamesPlayed)
+			}
+		})
+	}
+}
+
+func TestKernelModesBitIdenticalParallel(t *testing.T) {
+	for _, mode := range []EvalMode{EvalFull, EvalIncremental} {
+		cfg := ParallelConfig{
+			Ranks: 4, OptimizationLevel: 3, NumSSets: 24, AgentsPerSSet: 2,
+			MemorySteps: 1, Rounds: 40, PCRate: 1, MutationRate: 0.25, Beta: 1,
+			Generations: 120, Seed: 777, EvalMode: mode,
+		}
+		cfg.Kernel = "full-replay"
+		want, err := SimulateParallel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Kernel = "auto"
+		got, err := SimulateParallel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
+			t.Fatalf("eval %v: parallel kernel modes diverged", mode)
+		}
+		if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
+			t.Fatalf("eval %v: parallel event counts diverged", mode)
+		}
+	}
+}
+
+func TestKernelModeValidation(t *testing.T) {
+	if _, err := Simulate(context.Background(), SimulationConfig{
+		NumSSets: 4, AgentsPerSSet: 1, MemorySteps: 1, Rounds: 10,
+		Generations: 1, Kernel: "bogus",
+	}); err == nil {
+		t.Fatal("serial engine accepted an unknown kernel mode")
+	}
+	if _, err := SimulateParallel(ParallelConfig{
+		Ranks: 2, NumSSets: 4, AgentsPerSSet: 1, MemorySteps: 1, Rounds: 10,
+		Generations: 1, Kernel: "bogus",
+	}); err == nil {
+		t.Fatal("parallel engine accepted an unknown kernel mode")
+	}
+	modes := KernelModes()
+	if len(modes) != 2 || modes[0] != "auto" || modes[1] != "full-replay" {
+		t.Fatalf("KernelModes() = %v", modes)
+	}
+}
