@@ -15,15 +15,20 @@ import (
 )
 
 // benchBaselineRow mirrors the row schema emitted by benchtables -json.
+// The kernel table (BENCH_5.json) leaves the batch-table-only fields
+// (noise, workers, batch_lane_occupancy) at their zero values.
 type benchBaselineRow struct {
 	SSets               int     `json:"ssets"`
 	Mode                string  `json:"mode"`
+	Noise               float64 `json:"noise"`
+	Workers             int     `json:"workers"`
 	Sweeps              int     `json:"sweeps"`
 	Games               int64   `json:"games"`
 	Seconds             float64 `json:"seconds"`
 	NsPerGame           float64 `json:"ns_per_game"`
 	SpeedupVsFullReplay float64 `json:"speedup_vs_full_replay"`
 	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BatchLaneOccupancy  float64 `json:"batch_lane_occupancy"`
 }
 
 type benchBaselineDoc struct {
@@ -32,7 +37,18 @@ type benchBaselineDoc struct {
 	Rounds      int                `json:"rounds"`
 	MemorySteps int                `json:"memory_steps"`
 	GoMaxProcs  int                `json:"go_max_procs"`
+	Metrics     benchBaselineMet   `json:"metrics"`
 	Rows        []benchBaselineRow `json:"rows"`
+}
+
+// benchBaselineMet mirrors the aggregate Metrics envelope the batch table
+// emits (absent, and therefore zero, in the kernel table).
+type benchBaselineMet struct {
+	ScalarGames        int64   `json:"scalar_games"`
+	CycleGames         int64   `json:"cycle_games"`
+	BatchGames         int64   `json:"batch_games"`
+	BatchCalls         int64   `json:"batch_calls"`
+	BatchLaneOccupancy float64 `json:"batch_lane_occupancy"`
 }
 
 func TestBenchBaselineSchemaAndClaims(t *testing.T) {
@@ -74,6 +90,81 @@ func TestBenchBaselineSchemaAndClaims(t *testing.T) {
 		}
 		if row.AllocsPerOp >= 0.01 {
 			t.Errorf("baseline records %.3f allocs/game for (S=512, %s), want ~0", row.AllocsPerOp, mode)
+		}
+	}
+}
+
+// TestBenchBatchBaselineSchemaAndClaims pins BENCH_6.json, the committed
+// baseline of the batch table (`benchtables -table batch -json`): the
+// bit-sliced SWAR kernel against the scalar full-replay loop on the
+// block-of-opponents fitness workload, noiseless and noisy.  Like the
+// kernel baseline it pins schema and claims, not absolute numbers.
+func TestBenchBatchBaselineSchemaAndClaims(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_6.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var doc benchBaselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_6.json is not valid JSON for the batch-table schema: %v", err)
+	}
+	if doc.Table != "batch" || doc.Rounds != DefaultRounds || doc.MemorySteps != 1 {
+		t.Fatalf("baseline header = (%q, rounds=%d, memory=%d), want (batch, %d, 1)",
+			doc.Table, doc.Rounds, doc.MemorySteps, DefaultRounds)
+	}
+	if doc.Metrics.BatchGames <= 0 || doc.Metrics.BatchCalls <= 0 ||
+		doc.Metrics.ScalarGames <= 0 || doc.Metrics.BatchLaneOccupancy <= 0 {
+		t.Errorf("aggregate metrics envelope is empty: %+v", doc.Metrics)
+	}
+	// The workers dimension covers 1 and GOMAXPROCS of the recording
+	// machine; on a single-CPU recorder the two collapse into one column.
+	workerCounts := []int{1}
+	if doc.GoMaxProcs > 1 {
+		workerCounts = append(workerCounts, doc.GoMaxProcs)
+	}
+	type key struct {
+		ssets   int
+		mode    string
+		noise   float64
+		workers int
+	}
+	seen := make(map[key]benchBaselineRow)
+	for _, row := range doc.Rows {
+		if row.Games <= 0 || row.Seconds <= 0 || row.NsPerGame <= 0 {
+			t.Errorf("row %+v has non-positive measurements", row)
+		}
+		if row.Mode == "batch" && row.BatchLaneOccupancy <= 0 {
+			t.Errorf("batch row %+v never filled a SWAR lane", row)
+		}
+		seen[key{row.SSets, row.Mode, row.Noise, row.Workers}] = row
+	}
+	for _, ssets := range []int{32, 128, 512} {
+		for _, noise := range []float64{0, 0.05} {
+			for _, workers := range workerCounts {
+				for _, mode := range []string{"full-replay", "batch"} {
+					if _, ok := seen[key{ssets, mode, noise, workers}]; !ok {
+						t.Errorf("baseline is missing the (S=%d, %s, noise=%v, workers=%d) row",
+							ssets, mode, noise, workers)
+					}
+				}
+			}
+		}
+	}
+	// The acceptance claim the baseline documents: the SWAR kernel beats
+	// scalar full replay by >=5x on the noiseless S=512 workload, without
+	// allocating in the steady state.
+	for _, workers := range workerCounts {
+		row, ok := seen[key{512, "batch", 0, workers}]
+		if !ok {
+			continue
+		}
+		if row.SpeedupVsFullReplay < 5 {
+			t.Errorf("baseline records %.1fx for (S=512, batch, noiseless, workers=%d), want >= 5x",
+				row.SpeedupVsFullReplay, workers)
+		}
+		if row.AllocsPerOp >= 0.01 {
+			t.Errorf("baseline records %.3f allocs/game for (S=512, batch, noiseless, workers=%d), want ~0",
+				row.AllocsPerOp, workers)
 		}
 	}
 }

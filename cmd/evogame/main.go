@@ -34,7 +34,7 @@ func main() {
 	var (
 		useParallel = flag.Bool("parallel", false, "use the distributed engine (goroutine ranks)")
 		ranks       = flag.Int("ranks", 5, "total ranks for the distributed engine (Nature + SSet ranks)")
-		workers     = flag.Int("workers", 0, "worker goroutines per rank (0 = number of CPUs)")
+		workers     = flag.Int("workers", 0, "worker goroutines for game play, per rank in parallel mode (0 = GOMAXPROCS)")
 		optLevel    = flag.Int("opt", 3, "optimization level 0..3 (Figure 3)")
 
 		ssets       = flag.Int("ssets", 128, "number of Strategy Sets")
@@ -205,7 +205,7 @@ func run(o runOptions) error {
 			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
 			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
 			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
-			EvalMode: o.evalMode, Kernel: o.kernel,
+			EvalMode: o.evalMode, Kernel: o.kernel, Workers: o.workers,
 			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule,
 			Topology:       o.topology,
 			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,

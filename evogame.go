@@ -97,8 +97,8 @@ func (m EvalMode) toInternal() (fitness.EvalMode, error) {
 }
 
 // KernelModes returns the names accepted by SimulationConfig.Kernel and
-// ParallelConfig.Kernel ("auto", "full-replay").
-func KernelModes() []string { return []string{"auto", "full-replay"} }
+// ParallelConfig.Kernel ("auto", "full-replay", "batch").
+func KernelModes() []string { return []string{"auto", "full-replay", "batch"} }
 
 // Games returns the names of the registered game scenarios ("ipd",
 // "snowdrift", "staghunt", "generic", plus any registered extensions).
@@ -260,11 +260,16 @@ type SimulationConfig struct {
 	EvalMode EvalMode
 	// Kernel selects the deterministic-game inner loop: "" or "auto"
 	// (default) closes the periodic joint-state trajectory of a noiseless
-	// deterministic game in closed form whenever that is bit-exact, and
-	// "full-replay" forces the round-by-round reference loop.  All kernel
-	// modes produce identical results for identical seeds; see
-	// docs/PERFORMANCE.md.
+	// deterministic game in closed form whenever that is bit-exact,
+	// "full-replay" forces the round-by-round reference loop, and "batch"
+	// forces the bit-sliced 64-lane SWAR kernel at every memory depth when
+	// games are evaluated in batches.  All kernel modes produce identical
+	// results for identical seeds; see docs/PERFORMANCE.md.
 	Kernel string
+	// Workers bounds the worker goroutines used for game play inside a
+	// fitness evaluation.  Zero selects GOMAXPROCS; negative values are
+	// rejected.  The result is independent of the worker count.
+	Workers int
 	// Game names the scenario to play; empty selects "ipd", the paper's
 	// Iterated Prisoner's Dilemma.  See Games() for the registry.
 	Game string
@@ -320,6 +325,61 @@ type SimulationResult struct {
 	Mutations int
 	// GamesPlayed is the number of two-player IPD games executed.
 	GamesPlayed int64
+	// Metrics is the run's flat observability export: pair-cache traffic,
+	// the kernel-mode mix and the evolutionary event counts.
+	Metrics Metrics
+}
+
+// Metrics is the flat per-run observability export shared by both engines:
+// pair-cache traffic, the kernel-mode game mix (scalar, cycle-closing and
+// bit-sliced batch) and the evolutionary event counts.  For the parallel
+// engine the cache and kernel counters are summed over the SSet ranks.
+type Metrics struct {
+	// Generations is the number of generations the counters cover.
+	Generations int
+	// CachePlays, CacheHits, CacheMisses, CacheBypassed and CacheEvicted
+	// describe persistent pair-cache traffic; all zero when no cache ran.
+	CachePlays    int64
+	CacheHits     int64
+	CacheMisses   int64
+	CacheBypassed int64
+	CacheEvicted  int64
+	// ScalarGames, CycleGames and BatchGames split the executed games by
+	// kernel; BatchCalls counts SWAR batch invocations, so
+	// BatchGames/BatchCalls/64 is the mean lane occupancy (see
+	// BatchLaneOccupancy).
+	ScalarGames int64
+	CycleGames  int64
+	BatchGames  int64
+	BatchCalls  int64
+	// PCEvents, Adoptions and Mutations count the evolutionary events.
+	PCEvents  int
+	Adoptions int
+	Mutations int
+}
+
+// BatchLaneOccupancy returns the mean fraction of the 64 SWAR lanes filled
+// per batch kernel call (0 when the batch kernel never ran).
+func (m Metrics) BatchLaneOccupancy() float64 {
+	return fitness.Metrics{BatchGames: m.BatchGames, BatchCalls: m.BatchCalls}.BatchLaneOccupancy()
+}
+
+func metricsFromInternal(m fitness.Metrics) Metrics {
+	return Metrics{
+		Generations:   m.Generations,
+		CachePlays:    m.CachePlays,
+		CacheHits:     m.CacheHits,
+		CacheMisses:   m.CacheMisses,
+		CacheBypassed: m.CacheBypassed,
+		CacheEvicted:  m.CacheEvicted,
+		ScalarGames:   m.ScalarGames,
+		CycleGames:    m.CycleGames,
+		BatchGames:    m.BatchGames,
+		BatchCalls:    m.BatchCalls,
+		PCEvents:      m.PCEvents,
+		Adoptions:     m.Adoptions,
+		Mutations:     m.Mutations,
+	}
 }
 
 // WSLSFraction returns the final fraction of SSets holding the canonical
@@ -368,6 +428,7 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		SampleEvery:   c.SampleEvery,
 		EvalMode:      evalMode,
 		Kernel:        kernel,
+		Workers:       c.Workers,
 
 		CheckpointPath:  c.CheckpointPath,
 		CheckpointEvery: c.CheckpointEvery,
@@ -465,6 +526,7 @@ func runSerial(ctx context.Context, model *population.Model, generations int) (S
 		Adoptions:       res.NatureStats.Adoptions,
 		Mutations:       res.NatureStats.Mutations,
 		GamesPlayed:     res.TotalGamesPlayed,
+		Metrics:         metricsFromInternal(res.Metrics),
 	}
 	for _, s := range res.Samples {
 		out.Samples = append(out.Samples, Sample{
@@ -486,7 +548,7 @@ type ParallelConfig struct {
 	// Ranks is the total number of ranks including the Nature Agent (>= 2).
 	Ranks int
 	// WorkersPerRank bounds the worker goroutines used for game play inside
-	// each rank (0 selects the number of CPUs).
+	// each rank.  Zero selects GOMAXPROCS; negative values are rejected.
 	WorkersPerRank int
 	// OptimizationLevel selects the Figure 3 optimization level 0..3
 	// (0 = original, 1 = non-blocking comm, 2 = + state lookup,
@@ -511,9 +573,9 @@ type ParallelConfig struct {
 	// modes produce identical results for identical seeds.
 	EvalMode EvalMode
 	// Kernel selects the deterministic-game inner loop exactly as in
-	// SimulationConfig ("" / "auto" / "full-replay").  Optimization levels
-	// below 2 always replay in full, preserving the Figure 3 ablation's
-	// original kernel.
+	// SimulationConfig ("" / "auto" / "full-replay" / "batch").
+	// Optimization levels below 2 always replay in full, preserving the
+	// Figure 3 ablation's original kernel.
 	Kernel string
 	// Game, Payoff, UpdateRule and Topology select the scenario, exactly as
 	// in SimulationConfig; empty values are the paper's IPD + Fermi +
@@ -557,6 +619,9 @@ type ParallelResult struct {
 	Adoptions      int
 	Mutations      int
 	Ranks          []RankSummary
+	// Metrics is the run's flat observability export, summed over the SSet
+	// ranks (see Metrics).
+	Metrics Metrics
 }
 
 // toInternal maps the facade's parallel configuration onto the internal
@@ -671,6 +736,7 @@ func runParallel(internal parallel.Config) (ParallelResult, error) {
 		PCEvents:         res.NatureStats.PCEvents,
 		Adoptions:        res.NatureStats.Adoptions,
 		Mutations:        res.NatureStats.Mutations,
+		Metrics:          metricsFromInternal(res.Metrics),
 	}
 	for _, r := range res.Ranks {
 		out.Ranks = append(out.Ranks, RankSummary{

@@ -1,0 +1,80 @@
+package bitvec
+
+// SWAR ("SIMD within a register") primitives for the bit-sliced batch game
+// kernel (internal/game).  The kernel plays up to 64 independent games at
+// once by assigning each game one bit position — a "lane" — of a uint64
+// word, so a per-game boolean across the whole batch is a single word and a
+// per-game small integer is a short array of words (a "vertical" counter:
+// word i holds bit i of every lane's value).  These helpers are the word
+// arithmetic the kernel's inner loop is made of; they know nothing about
+// games and operate on raw []uint64 so the hot loop carries no Vector
+// wrappers.
+
+import "math/bits"
+
+// Lanes is the number of independent lanes a single word carries.
+const Lanes = 64
+
+// Broadcast returns the word with every lane set to b: all ones when b is
+// true, zero otherwise.
+func Broadcast(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// MuxSelect collapses the 2^len(planes) leaf words down to one word through
+// a multiplexer tree: lane L of the result is leaves[s_L][L], where s_L is
+// the integer whose bit j is lane L of planes[j].  In the batch kernel the
+// leaves are a (broadcast or transposed) move table and the planes are the
+// bit-sliced game states, so one call computes every lane's next move with
+// no per-lane branching.
+//
+// The selection combines pairs in place, ascending-bit first, so leaves is
+// destroyed; callers copy their table into a scratch slice.  len(leaves)
+// must be exactly 1<<len(planes).
+func MuxSelect(leaves []uint64, planes []uint64) uint64 {
+	size := len(leaves)
+	for _, sel := range planes {
+		size >>= 1
+		for i := 0; i < size; i++ {
+			leaves[i] = (leaves[2*i] &^ sel) | (leaves[2*i+1] & sel)
+		}
+	}
+	return leaves[0]
+}
+
+// CounterAdd adds the per-lane 0/1 word ones into the vertical counter
+// planes with ripple carry: lane L of the counter gains ones' bit L.  Each
+// lane's count occupies the same bit position of every plane, so carries
+// never cross lanes.  A carry out of the last plane is dropped; callers
+// size the counter with CounterWidth so that cannot happen.
+func CounterAdd(planes []uint64, ones uint64) {
+	for i := range planes {
+		if ones == 0 {
+			return
+		}
+		carry := planes[i] & ones
+		planes[i] ^= ones
+		ones = carry
+	}
+}
+
+// CounterLane extracts lane L's count from a vertical counter.
+func CounterLane(planes []uint64, lane int) int {
+	c := 0
+	for i, w := range planes {
+		c |= int((w>>uint(lane))&1) << uint(i)
+	}
+	return c
+}
+
+// CounterWidth returns the number of planes a vertical counter needs to
+// hold counts up to and including max.
+func CounterWidth(max int) int {
+	if max < 0 {
+		return 0
+	}
+	return bits.Len(uint(max))
+}

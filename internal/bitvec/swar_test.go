@@ -1,0 +1,78 @@
+package bitvec
+
+import (
+	"testing"
+
+	"evogame/internal/rng"
+)
+
+func TestBroadcast(t *testing.T) {
+	if Broadcast(false) != 0 {
+		t.Fatal("Broadcast(false) != 0")
+	}
+	if Broadcast(true) != ^uint64(0) {
+		t.Fatal("Broadcast(true) != all-ones")
+	}
+}
+
+// TestMuxSelect checks the multiplexer tree against a scalar per-lane table
+// lookup for every selector width the game kernel uses (memory 1..6 means
+// 2..12 planes).
+func TestMuxSelect(t *testing.T) {
+	src := rng.New(42)
+	for planesN := 1; planesN <= 12; planesN++ {
+		leavesN := 1 << uint(planesN)
+		leaves := make([]uint64, leavesN)
+		orig := make([]uint64, leavesN)
+		for i := range leaves {
+			leaves[i] = src.Uint64()
+		}
+		copy(orig, leaves)
+		planes := make([]uint64, planesN)
+		for j := range planes {
+			planes[j] = src.Uint64()
+		}
+		got := MuxSelect(leaves, planes)
+		for lane := 0; lane < Lanes; lane++ {
+			s := 0
+			for j, p := range planes {
+				s |= int(p>>uint(lane)&1) << uint(j)
+			}
+			want := orig[s] >> uint(lane) & 1
+			if got>>uint(lane)&1 != want {
+				t.Fatalf("planes=%d lane=%d: selected state %d, got bit %d want %d",
+					planesN, lane, s, got>>uint(lane)&1, want)
+			}
+		}
+	}
+}
+
+func TestVerticalCounter(t *testing.T) {
+	const adds = 500
+	width := CounterWidth(adds)
+	planes := make([]uint64, width)
+	want := [Lanes]int{}
+	src := rng.New(7)
+	for i := 0; i < adds; i++ {
+		ones := src.Uint64()
+		CounterAdd(planes, ones)
+		for lane := 0; lane < Lanes; lane++ {
+			want[lane] += int(ones >> uint(lane) & 1)
+		}
+	}
+	for lane := 0; lane < Lanes; lane++ {
+		if got := CounterLane(planes, lane); got != want[lane] {
+			t.Fatalf("lane %d: counter %d want %d", lane, got, want[lane])
+		}
+	}
+}
+
+func TestCounterWidth(t *testing.T) {
+	for _, tc := range []struct{ max, want int }{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {200, 8}, {255, 8}, {256, 9},
+	} {
+		if got := CounterWidth(tc.max); got != tc.want {
+			t.Fatalf("CounterWidth(%d) = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}

@@ -262,6 +262,89 @@ func (c *PairCache) PlayID(a, b uint32) (game.Result, error) {
 	return res, nil
 }
 
+// PlayIDBatch fills out[i] with the result of the game between the
+// strategies behind IDs a and bs[i], for every i.  Results, the games
+// actually executed and the stored entries are identical to calling
+// PlayID(a, bs[i]) in index order, but the misses are deduplicated (in
+// first-encounter order) and played through the engine's batch kernel, 64
+// games per focal strategy at a time, instead of one by one.  (A duplicate
+// of an uncached ID within one call joins the batch probe instead of
+// counting as a hit, so only the hit counter can differ from the serial
+// sequence.)  The all-hits steady state allocates nothing.
+func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error {
+	if len(out) != len(bs) {
+		return fmt.Errorf("fitness: PlayIDBatch result slice has %d entries for %d opponents", len(out), len(bs))
+	}
+	var missIdx []int
+	for i, b := range bs {
+		key := pairKey(a, b)
+		sh := &c.shards[shardIndex(a, b)]
+		sh.mu.RLock()
+		res, ok := sh.entries[key]
+		sh.mu.RUnlock()
+		if ok {
+			out[i] = res
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	c.hits.Add(int64(len(bs) - len(missIdx)))
+	if len(missIdx) == 0 {
+		return nil
+	}
+
+	sa, err := c.reg.Strategy(a)
+	if err != nil {
+		return fmt.Errorf("fitness: %w", err)
+	}
+	pos := make(map[uint32]int, len(missIdx))
+	order := make([]uint32, 0, len(missIdx))
+	players := make([]game.Player, 0, len(missIdx))
+	for _, i := range missIdx {
+		b := bs[i]
+		if _, ok := pos[b]; ok {
+			continue
+		}
+		sb, err := c.reg.Strategy(b)
+		if err != nil {
+			return fmt.Errorf("fitness: %w", err)
+		}
+		pos[b] = len(order)
+		order = append(order, b)
+		players = append(players, sb)
+	}
+	// Deterministic, noiseless games: no sources needed.  Played outside the
+	// locks so concurrent workers are not serialised on the kernel.
+	results := make([]game.Result, len(order))
+	if err := c.eng.PlayBatch(sa, players, nil, results); err != nil {
+		return err
+	}
+	for k, b := range order {
+		key := pairKey(a, b)
+		sh := &c.shards[shardIndex(a, b)]
+		sh.mu.Lock()
+		// Count-once semantics as in PlayID: a racing worker that stored the
+		// pair first wins, and its (identical) result is what callers see.
+		if stored, ok := sh.entries[key]; ok {
+			results[k] = stored
+		} else {
+			c.misses.Add(1)
+			if len(sh.entries) >= c.maxPerShard {
+				c.evicted.Add(int64(sh.evict()))
+			}
+			sh.entries[key] = results[k]
+			if mk := mirrorKey(key); mk != key {
+				sh.entries[mk] = swap(results[k])
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, i := range missIdx {
+		out[i] = results[pos[bs[i]]]
+	}
+	return nil
+}
+
 // Play returns the result of a game between focal strategy a and opponent
 // b.  Cacheable pairs (see Cacheable) are interned and served through
 // PlayID; non-cacheable pairs — the noise > 0 or mixed strategy bypass —

@@ -1,0 +1,277 @@
+package game
+
+import (
+	"fmt"
+	"testing"
+
+	"evogame/internal/rng"
+)
+
+func wordPlayerFromBits(mem int, bits uint64) *wordPlayer {
+	p := newWordPlayer(mem)
+	p.words[0] = bits
+	return p
+}
+
+func newTestEngines(t *testing.T, mem int, noise float64) (batch, scalar *Engine) {
+	t.Helper()
+	mk := func(k KernelMode) *Engine {
+		e, err := NewEngine(EngineConfig{
+			Rounds: DefaultRounds, MemorySteps: mem, Noise: noise,
+			AccumMode: AccumLookup, Kernel: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return mk(KernelBatch), mk(KernelFullReplay)
+}
+
+func checkBatchMatchesScalar(t *testing.T, batch, scalar *Engine, a Player, opps []Player, seed uint64) {
+	t.Helper()
+	noisy := scalar.Noise() > 0 || !a.Deterministic()
+	for _, b := range opps {
+		if !b.Deterministic() {
+			noisy = true
+		}
+	}
+	var batchSrcs []*rng.Source
+	if noisy {
+		batchSrcs = make([]*rng.Source, len(opps))
+		for i := range batchSrcs {
+			batchSrcs[i] = rng.New(seed + uint64(i))
+		}
+	}
+	got := make([]Result, len(opps))
+	if err := batch.PlayBatch(a, opps, batchSrcs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range opps {
+		var src *rng.Source
+		if noisy || !b.Deterministic() {
+			src = rng.New(seed + uint64(i))
+		}
+		want, err := scalar.Play(a, b, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("opponent %d: batch %+v, scalar full replay %+v", i, got[i], want)
+		}
+		// The batch kernel must also leave each game's RNG stream exactly
+		// where the scalar loop does.
+		if src != nil {
+			if g, w := batchSrcs[i].Uint64(), src.Uint64(); g != w {
+				t.Fatalf("opponent %d: RNG stream diverged after the game (%#x vs %#x)", i, g, w)
+			}
+		}
+	}
+}
+
+// TestPlayBatchExhaustiveMemoryOne pins batch-vs-scalar equivalence for
+// every ordered pair of the 16 memory-one pure strategies, the paper's core
+// strategy space.
+func TestPlayBatchExhaustiveMemoryOne(t *testing.T) {
+	batch, scalar := newTestEngines(t, 1, 0)
+	opps := make([]Player, 16)
+	for b := 0; b < 16; b++ {
+		opps[b] = wordPlayerFromBits(1, uint64(b))
+	}
+	for a := 0; a < 16; a++ {
+		checkBatchMatchesScalar(t, batch, scalar, wordPlayerFromBits(1, uint64(a)), opps, 0)
+	}
+}
+
+// TestPlayBatchRandomDeeperMemory spot-checks equivalence with random move
+// tables at memory 2..4, noiseless and noisy.  KernelBatch forces the SWAR
+// path even at memory-4, where KernelAuto would prefer the scalar loop.
+func TestPlayBatchRandomDeeperMemory(t *testing.T) {
+	for mem := 2; mem <= 4; mem++ {
+		for _, noise := range []float64{0, 0.05} {
+			t.Run(fmt.Sprintf("mem%d-noise%v", mem, noise), func(t *testing.T) {
+				batch, scalar := newTestEngines(t, mem, noise)
+				src := rng.New(uint64(90 + mem))
+				opps := make([]Player, 80) // > one chunk, ragged second chunk
+				for i := range opps {
+					opps[i] = randomWordPlayer(mem, src)
+				}
+				for trial := 0; trial < 4; trial++ {
+					focal := randomWordPlayer(mem, src)
+					checkBatchMatchesScalar(t, batch, scalar, focal, opps, uint64(1000*mem+trial))
+				}
+			})
+		}
+	}
+}
+
+// TestPlayBatchRaggedTail covers opponent counts that do not fill whole
+// 64-lane chunks.
+func TestPlayBatchRaggedTail(t *testing.T) {
+	batch, scalar := newTestEngines(t, 1, 0)
+	src := rng.New(17)
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		opps := make([]Player, n)
+		for i := range opps {
+			opps[i] = randomWordPlayer(1, src)
+		}
+		checkBatchMatchesScalar(t, batch, scalar, randomWordPlayer(1, src), opps, 5)
+	}
+}
+
+// TestPlayBatchMixedLanesFallBack mixes SWAR-ineligible opponents (mixed
+// strategies) into the batch; those lanes must take the scalar path with
+// their own sources while the rest stay bit-sliced.
+func TestPlayBatchMixedLanesFallBack(t *testing.T) {
+	for _, noise := range []float64{0, 0.02} {
+		batch, scalar := newTestEngines(t, 1, noise)
+		src := rng.New(23)
+		opps := make([]Player, 70)
+		for i := range opps {
+			if i%7 == 3 {
+				opps[i] = &randPlayer{p: 0.4}
+			} else {
+				opps[i] = randomWordPlayer(1, src)
+			}
+		}
+		checkBatchMatchesScalar(t, batch, scalar, randomWordPlayer(1, src), opps, 31)
+		// A mixed focal player forces the scalar path for the whole batch.
+		checkBatchMatchesScalar(t, batch, scalar, &randPlayer{p: 0.6}, opps, 37)
+	}
+}
+
+// TestPlayBatchKernelRouting pins which kernel each mode uses, via the
+// engine's kernel-mix counters.
+func TestPlayBatchKernelRouting(t *testing.T) {
+	mkEngine := func(mem int, k KernelMode) *Engine {
+		e, err := NewEngine(EngineConfig{
+			Rounds: DefaultRounds, MemorySteps: mem, AccumMode: AccumLookup, Kernel: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	src := rng.New(3)
+	play := func(e *Engine, mem int) KernelStats {
+		opps := make([]Player, 10)
+		for i := range opps {
+			opps[i] = randomWordPlayer(mem, src)
+		}
+		out := make([]Result, len(opps))
+		if err := e.PlayBatch(randomWordPlayer(mem, src), opps, nil, out); err != nil {
+			t.Fatal(err)
+		}
+		return e.KernelStats()
+	}
+
+	if s := play(mkEngine(1, KernelFullReplay), 1); s.BatchCalls != 0 || s.CycleGames != 0 || s.ScalarGames != 10 {
+		t.Fatalf("full-replay mode used a fast path: %+v", s)
+	}
+	if s := play(mkEngine(1, KernelAuto), 1); s.BatchGames != 10 || s.BatchCalls != 1 {
+		t.Fatalf("auto mode at memory-1 did not batch: %+v", s)
+	}
+	if s := play(mkEngine(4, KernelAuto), 4); s.BatchCalls != 0 || s.CycleGames+s.ScalarGames != 10 {
+		t.Fatalf("auto mode at memory-4 batched anyway: %+v", s)
+	}
+	if s := play(mkEngine(4, KernelBatch), 4); s.BatchGames != 10 || s.BatchCalls != 1 {
+		t.Fatalf("batch mode at memory-4 did not batch: %+v", s)
+	}
+	occ := KernelStats{BatchGames: 10, BatchCalls: 1}.BatchLaneOccupancy()
+	if occ != 10.0/64 {
+		t.Fatalf("BatchLaneOccupancy = %v, want %v", occ, 10.0/64)
+	}
+}
+
+func TestPlayBatchValidation(t *testing.T) {
+	batch, _ := newTestEngines(t, 1, 0)
+	opps := []Player{randomWordPlayer(1, rng.New(1))}
+	if err := batch.PlayBatch(randomWordPlayer(1, rng.New(2)), opps, nil, make([]Result, 2)); err == nil {
+		t.Fatal("mismatched out length accepted")
+	}
+	if err := batch.PlayBatch(randomWordPlayer(1, rng.New(2)), opps, make([]*rng.Source, 2), make([]Result, 1)); err == nil {
+		t.Fatal("mismatched srcs length accepted")
+	}
+	if err := batch.PlayBatch(nil, opps, nil, make([]Result, 1)); err == nil {
+		t.Fatal("nil focal player accepted")
+	}
+	if err := batch.PlayBatch(randomWordPlayer(1, rng.New(2)), []Player{nil}, nil, make([]Result, 1)); err == nil {
+		t.Fatal("nil opponent accepted")
+	}
+	noisy, _ := newTestEngines(t, 1, 0.05)
+	if err := noisy.PlayBatch(randomWordPlayer(1, rng.New(2)), opps, nil, make([]Result, 1)); err == nil {
+		t.Fatal("noisy batch without sources accepted")
+	}
+	if err := noisy.PlayBatch(randomWordPlayer(1, rng.New(2)), opps, make([]*rng.Source, 1), make([]Result, 1)); err == nil {
+		t.Fatal("noisy batch with a nil per-game source accepted")
+	}
+	mismatched := randomWordPlayer(2, rng.New(3))
+	if err := batch.PlayBatch(randomWordPlayer(1, rng.New(2)), []Player{mismatched}, nil, make([]Result, 1)); err == nil {
+		t.Fatal("opponent with mismatched memory accepted")
+	}
+	if err := batch.PlayBatch(mismatched, opps, nil, make([]Result, 1)); err == nil {
+		t.Fatal("focal player with mismatched memory accepted")
+	}
+}
+
+// TestPlayBatchSteadyStateZeroAllocs is the alloc gate on the batch hot
+// path: once the engine's buffer pool is warm, a full-occupancy noiseless
+// batch must not allocate.
+func TestPlayBatchSteadyStateZeroAllocs(t *testing.T) {
+	batch, _ := newTestEngines(t, 1, 0)
+	src := rng.New(11)
+	opps := make([]Player, BatchLanes)
+	for i := range opps {
+		opps[i] = randomWordPlayer(1, src)
+	}
+	focal := randomWordPlayer(1, src)
+	out := make([]Result, len(opps))
+	if err := batch.PlayBatch(focal, opps, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := batch.PlayBatch(focal, opps, nil, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PlayBatch allocates %v times per call, want 0", allocs)
+	}
+}
+
+func benchmarkPlayBatch(b *testing.B, mem int, noise float64, kernel KernelMode) {
+	e, err := NewEngine(EngineConfig{
+		Rounds: DefaultRounds, MemorySteps: mem, Noise: noise,
+		AccumMode: AccumLookup, Kernel: kernel,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2013)
+	opps := make([]Player, BatchLanes)
+	for i := range opps {
+		opps[i] = randomWordPlayer(mem, src)
+	}
+	focal := randomWordPlayer(mem, src)
+	var srcs []*rng.Source
+	if noise > 0 {
+		srcs = make([]*rng.Source, len(opps))
+		for i := range srcs {
+			srcs[i] = rng.New(uint64(i))
+		}
+	}
+	out := make([]Result, len(opps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PlayBatch(focal, opps, srcs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	games := float64(b.N) * float64(len(opps))
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/games, "ns/game")
+}
+
+func BenchmarkPlayBatchMemoryOne(b *testing.B)      { benchmarkPlayBatch(b, 1, 0, KernelBatch) }
+func BenchmarkPlayBatchMemoryOneNoisy(b *testing.B) { benchmarkPlayBatch(b, 1, 0.05, KernelBatch) }
+func BenchmarkPlayBatchMemoryThree(b *testing.B)    { benchmarkPlayBatch(b, 3, 0, KernelBatch) }
+func BenchmarkPlayBatchScalarRef(b *testing.B)      { benchmarkPlayBatch(b, 1, 0, KernelFullReplay) }

@@ -2,6 +2,7 @@ package game
 
 import (
 	"fmt"
+	"sync"
 
 	"evogame/internal/rng"
 )
@@ -47,9 +48,11 @@ func (m AccumMode) String() string {
 	}
 }
 
-// Engine plays Iterated Prisoner's Dilemma games.  An Engine is immutable
-// after construction and safe for concurrent use by multiple goroutines as
-// long as each call supplies its own rng.Source.
+// Engine plays Iterated Prisoner's Dilemma games.  An Engine's
+// configuration is immutable after construction and it is safe for
+// concurrent use by multiple goroutines as long as each call supplies its
+// own rng.Source; the only mutable state is the atomic kernel-mix counters
+// (KernelStats) and the pooled batch scratch buffers.
 type Engine struct {
 	spec      Spec
 	payoff    Matrix
@@ -62,6 +65,9 @@ type Engine struct {
 	kernel    KernelMode
 	intPayoff bool
 	states    *StateTable
+
+	stats     kernelCounters
+	batchPool sync.Pool // of *batchBuffers
 }
 
 // EngineConfig collects the knobs of the IPD kernel.  The zero value is not
@@ -207,11 +213,14 @@ func (e *Engine) Play(a, b Player, src *rng.Source) (Result, error) {
 		return Result{}, fmt.Errorf("game: rng source required (noise=%v, deterministic=%v/%v)",
 			e.noise, a.Deterministic(), b.Deterministic())
 	}
-	if !needRand && e.kernel == KernelAuto && e.intPayoff {
+	if !needRand && e.kernel != KernelFullReplay && e.intPayoff {
 		// Deterministic noiseless game over an integer-valued payoff matrix:
 		// the joint-state walk is periodic and the closed-form totals are
-		// bit-identical to a full replay (see KernelMode).
+		// bit-identical to a full replay (see KernelMode).  KernelBatch only
+		// changes batch routing, so single games keep the KernelAuto fast
+		// path.
 		if res, ok := e.playCycleClosing(a, b); ok {
+			e.stats.cycleGames.Add(1)
 			return res, nil
 		}
 	}
@@ -253,6 +262,7 @@ func (e *Engine) Play(a, b Player, src *rng.Source) (Result, error) {
 		histA.Push(moveA, moveB)
 		histB.Push(moveB, moveA)
 	}
+	e.stats.scalarGames.Add(1)
 	return res, nil
 }
 

@@ -25,6 +25,14 @@ const (
 	// KernelFullReplay always replays all rounds; it is the pre-optimization
 	// reference kernel and the baseline the perf tables compare against.
 	KernelFullReplay
+	// KernelBatch behaves like KernelAuto for single games but forces
+	// Engine.PlayBatch to use the bit-sliced SWAR kernel at every memory
+	// depth for eligible lanes (KernelAuto only batches up to memory-3,
+	// where the multiplexer tree is cheaper than the scalar loop).  Like the
+	// other fast paths it is bit-identical per seed, so the mode exists for
+	// forcing the batch path in measurements and tests rather than for
+	// changing outcomes.
+	KernelBatch
 )
 
 // String implements fmt.Stringer.
@@ -34,24 +42,31 @@ func (m KernelMode) String() string {
 		return "auto"
 	case KernelFullReplay:
 		return "full-replay"
+	case KernelBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("KernelMode(%d)", int(m))
 	}
 }
 
 // Valid reports whether m is one of the defined kernel modes.
-func (m KernelMode) Valid() bool { return m == KernelAuto || m == KernelFullReplay }
+func (m KernelMode) Valid() bool {
+	return m == KernelAuto || m == KernelFullReplay || m == KernelBatch
+}
 
 // ParseKernelMode maps the names accepted by command-line flags ("auto",
-// "full-replay") to a KernelMode; the empty string selects KernelAuto.
+// "full-replay", "batch") to a KernelMode; the empty string selects
+// KernelAuto.
 func ParseKernelMode(s string) (KernelMode, error) {
 	switch s {
 	case "", "auto":
 		return KernelAuto, nil
 	case "full-replay":
 		return KernelFullReplay, nil
+	case "batch":
+		return KernelBatch, nil
 	default:
-		return KernelAuto, fmt.Errorf("game: unknown kernel mode %q (want auto or full-replay)", s)
+		return KernelAuto, fmt.Errorf("game: unknown kernel mode %q (want auto, full-replay or batch)", s)
 	}
 }
 

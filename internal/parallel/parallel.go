@@ -112,8 +112,8 @@ type Config struct {
 	// 0; it must be at least 2.
 	Ranks int
 	// WorkersPerRank bounds the worker goroutines each SSet rank uses for
-	// game play.  Zero selects one worker per local SSet game batch
-	// (GOMAXPROCS-bounded inside the sset package).
+	// game play.  Zero selects GOMAXPROCS (the default resolves in
+	// sset.FitnessOptions.Workers); negative values are rejected.
 	WorkersPerRank int
 
 	// NumSSets, AgentsPerSSet, MemorySteps, Rounds and Noise describe the
@@ -236,6 +236,9 @@ func (c Config) validate() error {
 	if c.Rounds <= 0 {
 		return fmt.Errorf("parallel: rounds must be positive, got %d", c.Rounds)
 	}
+	if c.WorkersPerRank < 0 {
+		return fmt.Errorf("parallel: WorkersPerRank must be non-negative, got %d (0 selects GOMAXPROCS)", c.WorkersPerRank)
+	}
 	if c.Generations < 0 {
 		return fmt.Errorf("parallel: negative generation count %d", c.Generations)
 	}
@@ -312,6 +315,9 @@ type RankReport struct {
 	Compute     time.Duration
 	Comm        time.Duration
 	CommStats   mpi.Stats
+	// Metrics holds the rank's cache and kernel-mix counters (zero for the
+	// Nature Agent, which plays no games).
+	Metrics fitness.Metrics
 }
 
 // Result summarises a completed distributed run.
@@ -329,6 +335,9 @@ type Result struct {
 	NatureStats nature.Stats
 	// TotalGames is the number of IPD games played across all ranks.
 	TotalGames int64
+	// Metrics is the run's flat observability export: the rank-summed cache
+	// and kernel-mix counters plus the Nature Agent's event counts.
+	Metrics fitness.Metrics
 }
 
 // ComputeTime returns the mean per-rank compute time over the SSet ranks.
@@ -458,7 +467,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	for _, rep := range reports {
 		res.TotalGames += rep.GamesPlayed
+		res.Metrics.Merge(rep.Metrics)
 	}
+	res.Metrics.Generations = res.Generations
+	res.Metrics.PCEvents = natStats.PCEvents
+	res.Metrics.Adoptions = natStats.Adoptions
+	res.Metrics.Mutations = natStats.Mutations
 	return res, nil
 }
 
@@ -916,6 +930,8 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 		Comm:        rec.Total(trace.PhaseComm),
 		CommStats:   c.Stats(),
 	}
+	rep.Metrics.AddEngine(engine.KernelStats())
+	rep.Metrics.AddCache(cache)
 	return rep, nil
 }
 

@@ -95,7 +95,9 @@ type Config struct {
 	// Seed seeds all randomness; runs with the same Config are identical.
 	Seed uint64
 	// Workers bounds the worker goroutines used for game play inside a
-	// fitness evaluation (the thread-level tier).  Zero selects GOMAXPROCS.
+	// fitness evaluation (the thread-level tier).  Zero selects GOMAXPROCS
+	// (the default resolves in sset.FitnessOptions.Workers); negative values
+	// are rejected.
 	Workers int
 	// FitnessMode selects cached-distinct or exact-all-pairs evaluation for
 	// the EvalFull mode (the per-event evaluation styles that predate the
@@ -155,6 +157,9 @@ func (c Config) validate() error {
 	if c.Rounds <= 0 {
 		return fmt.Errorf("population: rounds must be positive, got %d", c.Rounds)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("population: Workers must be non-negative, got %d (0 selects GOMAXPROCS)", c.Workers)
+	}
 	if c.InitialStrategies != nil && len(c.InitialStrategies) != c.NumSSets {
 		return fmt.Errorf("population: %d initial strategies for %d SSets", len(c.InitialStrategies), c.NumSSets)
 	}
@@ -209,6 +214,9 @@ type Result struct {
 	// TotalGamesPlayed counts two-player IPD games executed by the fitness
 	// evaluations.
 	TotalGamesPlayed int64
+	// Metrics is the run's flat observability export: cache counters,
+	// kernel-mode mix and nature events (see fitness.Metrics).
+	Metrics fitness.Metrics
 }
 
 // Model is an in-progress population simulation.  It is not safe for
@@ -556,18 +564,31 @@ func (m *Model) opponents(i int) []strategy.Strategy {
 // fitnessViaPairCache sums SSet i's payoff against each of its neighbors
 // through the persistent pair cache (EvalCached): each distinct strategy
 // pair is played at most once per run.  Lookups go by the table's interned
-// IDs, so steady-state evaluation allocates nothing and never re-encodes a
-// strategy.
+// IDs one 64-lane block at a time, so steady-state evaluation allocates
+// nothing and never re-encodes a strategy, while misses fill through the
+// bit-sliced batch kernel.
 func (m *Model) fitnessViaPairCache(i int) (float64, error) {
 	my := m.table.ID(i)
+	var (
+		ids [game.BatchLanes]uint32
+		res [game.BatchLanes]game.Result
+	)
 	total := 0.0
 	deg := m.graph.Degree(i)
-	for k := 0; k < deg; k++ {
-		res, err := m.cache.PlayID(my, m.table.ID(m.graph.Neighbor(i, k)))
-		if err != nil {
+	for lo := 0; lo < deg; lo += game.BatchLanes {
+		n := game.BatchLanes
+		if lo+n > deg {
+			n = deg - lo
+		}
+		for k := 0; k < n; k++ {
+			ids[k] = m.table.ID(m.graph.Neighbor(i, lo+k))
+		}
+		if err := m.cache.PlayIDBatch(my, ids[:n], res[:n]); err != nil {
 			return 0, err
 		}
-		total += res.FitnessA
+		for k := 0; k < n; k++ {
+			total += res[k].FitnessA
+		}
 	}
 	return total, nil
 }
@@ -594,24 +615,66 @@ func (m *Model) fitnessExact(i int) (float64, error) {
 func (m *Model) fitnessCachedID(i int, cache map[uint64]float64) (float64, error) {
 	my := m.table.Get(i)
 	myID := m.table.ID(i)
-	total := 0.0
 	deg := m.graph.Degree(i)
+	// Pass 1: collect the distinct pairs missing from the per-event cache,
+	// in first-encounter order, splitting each miss's randomness in exactly
+	// the order the one-game-at-a-time loop used to — the split order is
+	// what keeps the trajectory bit-identical.
+	var (
+		queued   map[uint64]int
+		missOpps []game.Player
+		missSrcs []*rng.Source
+		needSrcs bool
+	)
 	for k := 0; k < deg; k++ {
 		j := m.graph.Neighbor(i, k)
 		oppID := m.table.ID(j)
 		key := uint64(myID)<<32 | uint64(oppID)
+		if _, ok := cache[key]; ok {
+			continue
+		}
+		if _, ok := queued[key]; ok {
+			continue
+		}
+		opp := m.table.Get(j)
+		var src *rng.Source
+		if m.engine.Noise() > 0 || !my.Deterministic() || !opp.Deterministic() {
+			src = m.src.Split()
+			needSrcs = true
+		}
+		if queued == nil {
+			queued = make(map[uint64]int)
+		}
+		queued[key] = len(missOpps)
+		missOpps = append(missOpps, opp)
+		missSrcs = append(missSrcs, src)
+	}
+	// Play the misses through the bit-sliced batch kernel.
+	var results []game.Result
+	if len(missOpps) > 0 {
+		results = make([]game.Result, len(missOpps))
+		var srcs []*rng.Source
+		if needSrcs {
+			srcs = missSrcs
+		}
+		if err := m.engine.PlayBatch(my, missOpps, srcs, results); err != nil {
+			return 0, err
+		}
+		m.games += int64(len(missOpps))
+	}
+	// Pass 2: replay the one-game-at-a-time loop's probe/fill order with the
+	// plays precomputed.  Filling forward then reverse at the first
+	// encounter — not up front — matters for the noisy self-pair (another
+	// SSet holding the focal strategy): its key is its own reverse, so the
+	// first occurrence must see FitnessA while later occurrences see the
+	// FitnessB overwrite, exactly as the serial loop did.
+	total := 0.0
+	for k := 0; k < deg; k++ {
+		oppID := m.table.ID(m.graph.Neighbor(i, k))
+		key := uint64(myID)<<32 | uint64(oppID)
 		payoff, ok := cache[key]
 		if !ok {
-			opp := m.table.Get(j)
-			var src *rng.Source
-			if m.engine.Noise() > 0 || !my.Deterministic() || !opp.Deterministic() {
-				src = m.src.Split()
-			}
-			res, err := m.engine.Play(my, opp, src)
-			if err != nil {
-				return 0, err
-			}
-			m.games++
+			res := results[queued[key]]
 			payoff = res.FitnessA
 			cache[key] = payoff
 			// The reverse pairing gives the opponent's payoff; cache it too
@@ -786,9 +849,26 @@ func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 		Samples:          samples,
 		NatureStats:      m.nat.Stats(),
 		TotalGamesPlayed: m.GamesPlayed(),
+		Metrics:          m.Metrics(),
 	}, nil
 }
 
 // NatureStats exposes the Nature Agent's event counters for callers that
 // drive the model step by step.
 func (m *Model) NatureStats() nature.Stats { return m.nat.Stats() }
+
+// Metrics returns the run's flat observability counters: pair-cache
+// traffic, the kernel-mode mix (including batch-lane occupancy) and the
+// Nature Agent's event counts.
+func (m *Model) Metrics() fitness.Metrics {
+	st := m.nat.Stats()
+	met := fitness.Metrics{
+		Generations: m.gen,
+		PCEvents:    st.PCEvents,
+		Adoptions:   st.Adoptions,
+		Mutations:   st.Mutations,
+	}
+	met.AddEngine(m.engine.KernelStats())
+	met.AddCache(m.cache)
+	return met
+}

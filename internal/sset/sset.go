@@ -110,7 +110,9 @@ func (s *SSet) Agents(numOpponents int) []Agent {
 // FitnessOptions controls how an SSet evaluates its fitness.
 type FitnessOptions struct {
 	// Workers is the number of worker goroutines used to fan out the games
-	// (the thread-level tier).  Zero or negative selects GOMAXPROCS.
+	// (the thread-level tier).  Zero selects GOMAXPROCS — this is the single
+	// point where that default resolves; the facade and both engines pass
+	// their worker knobs through unchanged.  Negative values are rejected.
 	Workers int
 	// Source provides randomness for noisy or mixed games.  It may be nil
 	// for fully deterministic games.  The source is split per opponent in a
@@ -131,25 +133,69 @@ type FitnessOptions struct {
 	OpponentIDs []uint32
 }
 
-// play runs game i of the batch, through the pair cache when one is
-// configured — by interned ID pair when the caller supplied IDs, which is
-// the allocation-free hot path.
-func (o FitnessOptions) play(eng *game.Engine, my, opp strategy.Strategy, i int, src *rng.Source) (float64, error) {
-	if o.Cache != nil {
-		if o.OpponentIDs != nil {
-			res, err := o.Cache.PlayID(o.SelfID, o.OpponentIDs[i])
-			if err != nil {
-				return 0, err
+// sumRange plays the SSet's strategy against opponents[lo:hi) in index
+// order and returns the summed focal payoff.  Games go through the engine's
+// bit-sliced batch kernel (or the cache's batched ID path) one
+// game.BatchLanes-sized block at a time; the result buffers live on the
+// stack, so the steady state allocates nothing.
+func (s *SSet) sumRange(eng *game.Engine, opponents []strategy.Strategy, opts FitnessOptions, perGame []*rng.Source, lo, hi int) (float64, error) {
+	var (
+		players [game.BatchLanes]game.Player
+		srcs    [game.BatchLanes]*rng.Source
+		results [game.BatchLanes]game.Result
+	)
+	total := 0.0
+	for c0 := lo; c0 < hi; c0 += game.BatchLanes {
+		c1 := c0 + game.BatchLanes
+		if c1 > hi {
+			c1 = hi
+		}
+		n := c1 - c0
+		for i := c0; i < c1; i++ {
+			if opponents[i] == nil {
+				return 0, fmt.Errorf("sset: nil opponent strategy at index %d", i)
 			}
-			return res.FitnessA, nil
 		}
-		res, err := o.Cache.Play(my, opp, src)
-		if err != nil {
-			return 0, err
+		switch {
+		case opts.Cache != nil && opts.OpponentIDs != nil:
+			// The allocation-free interned-ID path; misses fill in batches.
+			if err := opts.Cache.PlayIDBatch(opts.SelfID, opts.OpponentIDs[c0:c1], results[:n]); err != nil {
+				return 0, fmt.Errorf("sset %d vs opponents [%d,%d): %w", s.id, c0, c1, err)
+			}
+		case opts.Cache != nil:
+			// Strategy-keyed cache routing stays per game: it re-interns each
+			// pair anyway, so there is no batch to exploit.
+			for i := c0; i < c1; i++ {
+				var src *rng.Source
+				if perGame != nil {
+					src = perGame[i]
+				}
+				res, err := opts.Cache.Play(s.strat, opponents[i], src)
+				if err != nil {
+					return 0, fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
+				}
+				results[i-c0] = res
+			}
+		default:
+			for k := 0; k < n; k++ {
+				players[k] = opponents[c0+k]
+				if perGame != nil {
+					srcs[k] = perGame[c0+k]
+				}
+			}
+			var chunkSrcs []*rng.Source
+			if perGame != nil {
+				chunkSrcs = srcs[:n]
+			}
+			if err := eng.PlayBatch(s.strat, players[:n], chunkSrcs, results[:n]); err != nil {
+				return 0, fmt.Errorf("sset %d vs opponents [%d,%d): %w", s.id, c0, c1, err)
+			}
 		}
-		return res.FitnessA, nil
+		for k := 0; k < n; k++ {
+			total += results[k].FitnessA
+		}
 	}
-	return eng.PlayFitness(my, opp, src)
+	return total, nil
 }
 
 // Fitness plays the SSet's strategy against every opponent strategy and
@@ -161,8 +207,11 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 	if eng == nil {
 		return 0, fmt.Errorf("sset: nil engine")
 	}
+	if opts.Workers < 0 {
+		return 0, fmt.Errorf("sset: Workers must be non-negative, got %d (0 selects GOMAXPROCS)", opts.Workers)
+	}
 	workers := opts.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(opponents) {
@@ -203,22 +252,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 	}
 
 	if workers == 1 {
-		total := 0.0
-		for i, opp := range opponents {
-			if opp == nil {
-				return 0, fmt.Errorf("sset: nil opponent strategy at index %d", i)
-			}
-			var src *rng.Source
-			if perGame != nil {
-				src = perGame[i]
-			}
-			fit, err := opts.play(eng, s.strat, opp, i, src)
-			if err != nil {
-				return 0, fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
-			}
-			total += fit
-		}
-		return total, nil
+		return s.sumRange(eng, opponents, opts, perGame, 0, len(opponents))
 	}
 
 	agents := PartitionOpponents(len(opponents), workers)
@@ -232,25 +266,7 @@ func (s *SSet) Fitness(eng *game.Engine, opponents []strategy.Strategy, opts Fit
 		wg.Add(1)
 		go func(w int, agent Agent) {
 			defer wg.Done()
-			sum := 0.0
-			for i := agent.Lo; i < agent.Hi; i++ {
-				opp := opponents[i]
-				if opp == nil {
-					errs[w] = fmt.Errorf("sset: nil opponent strategy at index %d", i)
-					return
-				}
-				var src *rng.Source
-				if perGame != nil {
-					src = perGame[i]
-				}
-				fit, err := opts.play(eng, s.strat, opp, i, src)
-				if err != nil {
-					errs[w] = fmt.Errorf("sset %d vs opponent %d: %w", s.id, i, err)
-					return
-				}
-				sum += fit
-			}
-			partial[w] = sum
+			partial[w], errs[w] = s.sumRange(eng, opponents, opts, perGame, agent.Lo, agent.Hi)
 		}(w, agent)
 	}
 	wg.Wait()

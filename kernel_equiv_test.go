@@ -39,21 +39,23 @@ func TestKernelModesBitIdenticalSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fast := tc.cfg
-			fast.Kernel = "auto"
-			got, err := Simulate(context.Background(), fast)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
-				t.Fatalf("kernel modes diverged:\nauto        %v\nfull-replay %v",
-					got.FinalStrategies, want.FinalStrategies)
-			}
-			if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions ||
-				got.Mutations != want.Mutations || got.GamesPlayed != want.GamesPlayed {
-				t.Fatalf("event counts diverged: auto %d/%d/%d games %d, full-replay %d/%d/%d games %d",
-					got.PCEvents, got.Adoptions, got.Mutations, got.GamesPlayed,
-					want.PCEvents, want.Adoptions, want.Mutations, want.GamesPlayed)
+			for _, kernel := range []string{"auto", "batch"} {
+				fast := tc.cfg
+				fast.Kernel = kernel
+				got, err := Simulate(context.Background(), fast)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
+					t.Fatalf("kernel modes diverged:\n%-11s %v\nfull-replay %v",
+						kernel, got.FinalStrategies, want.FinalStrategies)
+				}
+				if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions ||
+					got.Mutations != want.Mutations || got.GamesPlayed != want.GamesPlayed {
+					t.Fatalf("event counts diverged: %s %d/%d/%d games %d, full-replay %d/%d/%d games %d",
+						kernel, got.PCEvents, got.Adoptions, got.Mutations, got.GamesPlayed,
+						want.PCEvents, want.Adoptions, want.Mutations, want.GamesPlayed)
+				}
 			}
 		})
 	}
@@ -71,16 +73,18 @@ func TestKernelModesBitIdenticalParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.Kernel = "auto"
-		got, err := SimulateParallel(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
-			t.Fatalf("eval %v: parallel kernel modes diverged", mode)
-		}
-		if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
-			t.Fatalf("eval %v: parallel event counts diverged", mode)
+		for _, kernel := range []string{"auto", "batch"} {
+			cfg.Kernel = kernel
+			got, err := SimulateParallel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(got.FinalStrategies, ",") != strings.Join(want.FinalStrategies, ",") {
+				t.Fatalf("eval %v kernel %s: parallel kernel modes diverged", mode, kernel)
+			}
+			if got.PCEvents != want.PCEvents || got.Adoptions != want.Adoptions || got.Mutations != want.Mutations {
+				t.Fatalf("eval %v kernel %s: parallel event counts diverged", mode, kernel)
+			}
 		}
 	}
 }
@@ -99,7 +103,7 @@ func TestKernelModeValidation(t *testing.T) {
 		t.Fatal("parallel engine accepted an unknown kernel mode")
 	}
 	modes := KernelModes()
-	if len(modes) != 2 || modes[0] != "auto" || modes[1] != "full-replay" {
+	if len(modes) != 3 || modes[0] != "auto" || modes[1] != "full-replay" || modes[2] != "batch" {
 		t.Fatalf("KernelModes() = %v", modes)
 	}
 }

@@ -1,0 +1,70 @@
+package evogame
+
+// The flat Metrics export (satellite of the batch-kernel PR) must be
+// populated by both engines, agree with the result's own event counters,
+// and attribute games to the kernel that actually ran them.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSerialMetricsPopulated(t *testing.T) {
+	cfg := SimulationConfig{
+		NumSSets: 24, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 40,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 60, Seed: 11,
+		Kernel: "batch",
+	}
+	res, err := Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Generations != cfg.Generations {
+		t.Errorf("Metrics.Generations = %d, want %d", m.Generations, cfg.Generations)
+	}
+	if m.PCEvents != res.PCEvents || m.Adoptions != res.Adoptions || m.Mutations != res.Mutations {
+		t.Errorf("Metrics events %d/%d/%d disagree with result %d/%d/%d",
+			m.PCEvents, m.Adoptions, m.Mutations, res.PCEvents, res.Adoptions, res.Mutations)
+	}
+	if got := m.ScalarGames + m.CycleGames + m.BatchGames; got != res.GamesPlayed {
+		t.Errorf("kernel mix sums to %d games, result played %d", got, res.GamesPlayed)
+	}
+	if m.BatchGames <= 0 || m.BatchCalls <= 0 {
+		t.Errorf("forced batch kernel recorded no batch work: %+v", m)
+	}
+	if occ := m.BatchLaneOccupancy(); occ <= 0 || occ > 1 {
+		t.Errorf("BatchLaneOccupancy = %v, want in (0, 1]", occ)
+	}
+	// The serial engine's per-event cache is a plain map, not the
+	// persistent fitness.PairCache, so its cache counters stay zero.
+	if m.CachePlays != 0 || m.CacheHits != 0 {
+		t.Errorf("serial run unexpectedly recorded PairCache traffic: %+v", m)
+	}
+}
+
+func TestParallelMetricsPopulated(t *testing.T) {
+	cfg := ParallelConfig{
+		Ranks: 4, OptimizationLevel: 3, NumSSets: 24, AgentsPerSSet: 2,
+		MemorySteps: 1, Rounds: 40, PCRate: 1, MutationRate: 0.25, Beta: 1,
+		Generations: 60, Seed: 777, Kernel: "batch",
+	}
+	res, err := SimulateParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Generations != cfg.Generations {
+		t.Errorf("Metrics.Generations = %d, want %d", m.Generations, cfg.Generations)
+	}
+	if m.PCEvents != res.PCEvents || m.Adoptions != res.Adoptions || m.Mutations != res.Mutations {
+		t.Errorf("Metrics events %d/%d/%d disagree with result %d/%d/%d",
+			m.PCEvents, m.Adoptions, m.Mutations, res.PCEvents, res.Adoptions, res.Mutations)
+	}
+	if m.BatchGames <= 0 || m.BatchCalls <= 0 {
+		t.Errorf("forced batch kernel recorded no batch work: %+v", m)
+	}
+	if occ := m.BatchLaneOccupancy(); occ <= 0 || occ > 1 {
+		t.Errorf("BatchLaneOccupancy = %v, want in (0, 1]", occ)
+	}
+}
