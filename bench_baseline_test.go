@@ -168,3 +168,96 @@ func TestBenchBatchBaselineSchemaAndClaims(t *testing.T) {
 		}
 	}
 }
+
+// benchEnsembleRow mirrors the row schema of the ensemble table
+// (`benchtables -table ensemble -json`).
+type benchEnsembleRow struct {
+	EnsembleWorkers int     `json:"ensemble_workers"`
+	Cache           string  `json:"cache"`
+	Replicates      int     `json:"replicates"`
+	Seconds         float64 `json:"seconds"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	Games           int64   `json:"games"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	WarmHits        int64   `json:"warm_hits"`
+	WarmMisses      int64   `json:"warm_misses"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+}
+
+// benchEnsembleDoc mirrors the ensemble table's envelope.
+type benchEnsembleDoc struct {
+	Table       string             `json:"table"`
+	Seed        uint64             `json:"seed"`
+	Rounds      int                `json:"rounds"`
+	MemorySteps int                `json:"memory_steps"`
+	SSets       int                `json:"ssets"`
+	Replicates  int                `json:"replicates"`
+	Generations int                `json:"generations"`
+	GoMaxProcs  int                `json:"go_max_procs"`
+	Rows        []benchEnsembleRow `json:"rows"`
+}
+
+// TestBenchEnsembleBaselineSchemaAndClaims pins BENCH_7.json, the committed
+// baseline of the ensemble table: 8 replicates of a noiseless cached S=128
+// run under the ensemble tier, shared vs private pair-cache store at every
+// ensemble worker count in {1, 2, 4, 8}.  Like the other baselines it pins
+// schema and claims, not absolute numbers: sharing the store makes the
+// 8-replicate ensemble at 8 workers at least 3x faster than running the
+// replicates serially with private caches, with cross-run cache hits from
+// replicate 1 onward doing the work (the recording machine may have a
+// single core, so the win must come from miss elimination, not
+// parallelism).
+func TestBenchEnsembleBaselineSchemaAndClaims(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_7.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var doc benchEnsembleDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_7.json is not valid JSON for the ensemble-table schema: %v", err)
+	}
+	if doc.Table != "ensemble" || doc.Rounds != DefaultRounds || doc.SSets != 128 || doc.Replicates != 8 {
+		t.Fatalf("baseline header = (%q, rounds=%d, ssets=%d, replicates=%d), want (ensemble, %d, 128, 8)",
+			doc.Table, doc.Rounds, doc.SSets, doc.Replicates, DefaultRounds)
+	}
+	if doc.MemorySteps <= 0 || doc.Generations <= 0 || doc.GoMaxProcs <= 0 {
+		t.Fatalf("baseline header has non-positive dimensions: %+v", doc)
+	}
+	type key struct {
+		workers int
+		cache   string
+	}
+	seen := make(map[key]benchEnsembleRow)
+	for _, row := range doc.Rows {
+		if row.Seconds <= 0 || row.Games <= 0 || row.Replicates != doc.Replicates {
+			t.Errorf("row %+v has non-positive measurements or a replicate mismatch", row)
+		}
+		if row.Cache == "shared" && row.WarmHits <= 0 {
+			t.Errorf("shared row %+v records no cross-run cache hits", row)
+		}
+		seen[key{row.EnsembleWorkers, row.Cache}] = row
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, cache := range []string{"shared", "private"} {
+			if _, ok := seen[key{workers, cache}]; !ok {
+				t.Errorf("baseline is missing the (workers=%d, %s) row", workers, cache)
+			}
+		}
+	}
+	// The acceptance claim the baseline documents: >=3x over serial
+	// replicates at 8 ensemble workers with the shared store, which must be
+	// eliminating misses the private runs pay for.
+	shared8, okS := seen[key{8, "shared"}]
+	private8, okP := seen[key{8, "private"}]
+	if okS {
+		if shared8.SpeedupVsSerial < 3 {
+			t.Errorf("baseline records %.2fx for (workers=8, shared), want >= 3x over serial private replicates",
+				shared8.SpeedupVsSerial)
+		}
+		if okP && shared8.WarmMisses >= private8.WarmMisses {
+			t.Errorf("shared store eliminated no warm misses: shared=%d, private=%d",
+				shared8.WarmMisses, private8.WarmMisses)
+		}
+	}
+}

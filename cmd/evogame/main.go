@@ -13,6 +13,7 @@
 //	evogame -game generic -payoff 5,1,6,2 -generations 10000
 //	evogame -topology torus:moore -ssets 256 -noise 0 -generations 50000
 //	evogame -topology smallworld:6:0.2 -ssets 512 -eval incremental
+//	evogame -replicates 8 -ensemble-workers 4 -ssets 128 -noise 0 -eval cached
 package main
 
 import (
@@ -58,6 +59,10 @@ func main() {
 		payoffCSV   = flag.String("payoff", "", "payoff override as R,S,T,P (must satisfy the scenario's constraints)")
 		topoName    = flag.String("topology", "wellmixed", "interaction topology: wellmixed, ring[:degree], torus[:vonneumann|moore], smallworld[:degree[:rewire-prob]]")
 		kernelName  = flag.String("kernel", "auto", "deterministic-game kernel: "+strings.Join(evogame.KernelModes(), ", ")+" (bit-identical; auto closes joint-state cycles in closed form)")
+
+		replicates    = flag.Int("replicates", 1, "run this many independent replicates with derived seeds through the ensemble engine (1 = single run)")
+		ensWorkers    = flag.Int("ensemble-workers", 0, "replicates in flight at once (0 = min(replicates, GOMAXPROCS); splits GOMAXPROCS with per-run -workers)")
+		privateCaches = flag.Bool("private-caches", false, "give every replicate its own pair cache instead of sharing one store across the ensemble")
 	)
 	flag.Parse()
 
@@ -79,6 +84,7 @@ func main() {
 		resumePath: *resumePath, clusters: *clusters,
 		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
 		topology: *topoName, kernel: *kernelName,
+		replicates: *replicates, ensWorkers: *ensWorkers, privateCaches: *privateCaches,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -124,6 +130,8 @@ type runOptions struct {
 	payoff                      []float64
 	topology                    string
 	kernel                      string
+	replicates, ensWorkers      int
+	privateCaches               bool
 }
 
 // adoptCheckpointIdentity replaces the identity-bearing options with the
@@ -148,6 +156,15 @@ func run(o runOptions) error {
 
 	if o.ckptEvery > 0 && o.ckptPath == "" {
 		return fmt.Errorf("-ckpt-every requires -checkpoint")
+	}
+	if o.replicates != 1 {
+		if o.replicates < 1 {
+			return fmt.Errorf("-replicates must be at least 1, got %d", o.replicates)
+		}
+		if o.resumePath != "" || o.ckptPath != "" {
+			return fmt.Errorf("-replicates runs an ensemble; checkpoint/resume are per-run, so run seeds individually to use them")
+		}
+		return runEnsemble(o)
 	}
 	if o.resumePath != "" {
 		snap, err := checkpoint.Load(o.resumePath)
@@ -252,5 +269,79 @@ func run(o runOptions) error {
 	if o.ckptPath != "" {
 		fmt.Printf("\ncheckpoint written to %s\n", o.ckptPath)
 	}
+	return nil
+}
+
+// runEnsemble runs -replicates independent replicates through the ensemble
+// engine and prints per-replicate summaries plus the deterministic
+// aggregates (mean ± std cooperation trajectory, merged metrics).
+func runEnsemble(o runOptions) error {
+	topo, err := evogame.DescribeTopology(o.topology)
+	if err != nil {
+		return err
+	}
+	ecfg := evogame.EnsembleConfig{
+		Replicates:      o.replicates,
+		EnsembleWorkers: o.ensWorkers,
+		PrivateCaches:   o.privateCaches,
+	}
+	if o.parallel {
+		ecfg.Parallel = &evogame.ParallelConfig{
+			Ranks: o.ranks, WorkersPerRank: o.workers, OptimizationLevel: o.optLevel,
+			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
+			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
+			Beta: o.beta, Generations: o.generations, Seed: o.seed, EvalMode: o.evalMode,
+			Kernel: o.kernel,
+			Game:   o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
+		}
+	} else {
+		ecfg.Simulation = &evogame.SimulationConfig{
+			NumSSets: o.ssets, AgentsPerSSet: o.agents, MemorySteps: o.memory,
+			Rounds: o.rounds, Noise: o.noise, PCRate: o.pcRate, MutationRate: o.muRate,
+			Beta: o.beta, Generations: o.generations, Seed: o.seed, SampleEvery: o.sampleEvery,
+			EvalMode: o.evalMode, Kernel: o.kernel, Workers: o.workers,
+			Game: o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
+		}
+	}
+	res, err := evogame.RunEnsemble(context.Background(), ecfg)
+	if err != nil {
+		return err
+	}
+	engine := "serial"
+	if o.parallel {
+		engine = "distributed"
+	}
+	cache := "shared"
+	if o.privateCaches {
+		cache = "private"
+	}
+	fmt.Printf("ensemble: %d replicates (%s engine, %d ensemble workers x %d run workers, %s caches), %d SSets, memory-%d, game %s, rule %s, topology %s (%.2fs)\n",
+		o.replicates, engine, res.EnsembleWorkers, res.RunWorkers, cache,
+		o.ssets, o.memory, o.game, o.rule, topo.Canonical, res.WallClockSeconds)
+
+	t := stats.NewTable("Replicate", "Seed", "PC events", "Adoptions", "Mutations", "WSLS %")
+	for k := range res.Seeds {
+		switch {
+		case res.Serial != nil:
+			r := res.Serial[k]
+			t.AddRow(k, res.Seeds[k], r.PCEvents, r.Adoptions, r.Mutations, 100*r.WSLSFraction())
+		case res.Parallel != nil:
+			r := res.Parallel[k]
+			t.AddRow(k, res.Seeds[k], r.PCEvents, r.Adoptions, r.Mutations, "-")
+		}
+	}
+	fmt.Print(t.String())
+
+	if len(res.Trajectory) > 0 {
+		fmt.Println("\naggregate trajectory (mean ± std over replicates):")
+		tt := stats.NewTable("Generation", "Cooperation", "±", "WSLS", "±")
+		for _, p := range res.Trajectory {
+			tt.AddRow(p.Generation, p.CooperationMean, p.CooperationStd, p.WSLSMean, p.WSLSStd)
+		}
+		fmt.Print(tt.String())
+	}
+	m := res.Metrics
+	fmt.Printf("\nmerged metrics: %d cache hits, %d misses, %d bypassed, %d games executed\n",
+		m.CacheHits, m.CacheMisses, m.CacheBypassed, m.ScalarGames+m.CycleGames+m.BatchGames)
 	return nil
 }

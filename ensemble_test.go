@@ -1,0 +1,157 @@
+package evogame
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestMetricsMergeCounters pins the facade Metrics.Merge semantics: counters
+// sum, Generations takes the maximum (ranks of one run advance in lockstep).
+func TestMetricsMergeCounters(t *testing.T) {
+	a := Metrics{
+		Generations: 10, CachePlays: 5, CacheHits: 7, CacheMisses: 5, CacheBypassed: 1,
+		CacheEvicted: 2, ScalarGames: 3, CycleGames: 4, BatchGames: 64, BatchCalls: 1,
+		PCEvents: 6, Adoptions: 2, Mutations: 1,
+	}
+	b := Metrics{
+		Generations: 8, CachePlays: 2, CacheHits: 1, CacheMisses: 2, CacheBypassed: 3,
+		CacheEvicted: 0, ScalarGames: 1, CycleGames: 1, BatchGames: 32, BatchCalls: 1,
+		PCEvents: 4, Adoptions: 3, Mutations: 2,
+	}
+	m := a
+	m.Merge(b)
+	if m.Generations != 10 {
+		t.Errorf("Generations = %d, want the maximum 10", m.Generations)
+	}
+	if m.CachePlays != 7 || m.CacheHits != 8 || m.CacheMisses != 7 || m.CacheBypassed != 4 || m.CacheEvicted != 2 {
+		t.Errorf("cache counters did not sum: %+v", m)
+	}
+	if m.ScalarGames != 4 || m.CycleGames != 5 || m.BatchGames != 96 || m.BatchCalls != 2 {
+		t.Errorf("kernel counters did not sum: %+v", m)
+	}
+	if m.PCEvents != 10 || m.Adoptions != 5 || m.Mutations != 3 {
+		t.Errorf("event counters did not sum: %+v", m)
+	}
+}
+
+// TestMetricsMergeOccupancyWeighting pins that batch-lane occupancy after a
+// merge is weighted by batch calls, not a naive mean of the two rates: a
+// full 2-call run (occupancy 1.0) merged with a quarter-full 1-call run
+// (occupancy 0.25) occupies 144 of 3*64 lanes = 0.75, where the naive mean
+// would claim 0.625.
+func TestMetricsMergeOccupancyWeighting(t *testing.T) {
+	a := Metrics{BatchGames: 128, BatchCalls: 2}
+	b := Metrics{BatchGames: 16, BatchCalls: 1}
+	naive := (a.BatchLaneOccupancy() + b.BatchLaneOccupancy()) / 2
+	a.Merge(b)
+	if got := a.BatchLaneOccupancy(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("merged occupancy = %v, want 0.75 (call-weighted)", got)
+	}
+	if math.Abs(naive-0.625) > 1e-12 {
+		t.Fatalf("test workload drifted: naive mean = %v, want 0.625", naive)
+	}
+}
+
+// TestRunEnsembleSerialFacade runs a small serial ensemble end to end
+// through the facade and checks the per-replicate results are exactly the
+// solo Simulate runs of the derived seeds, with sane aggregates.
+func TestRunEnsembleSerialFacade(t *testing.T) {
+	sim := SimulationConfig{
+		NumSSets: 16, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 20,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 40, Seed: 41,
+		SampleEvery: 10, EvalMode: EvalCached,
+	}
+	res, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 3, EnsembleWorkers: 2, Simulation: &sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Serial) != 3 || len(res.Seeds) != 3 || res.Parallel != nil {
+		t.Fatalf("serial ensemble shape: %d serial, %d seeds, parallel=%v", len(res.Serial), len(res.Seeds), res.Parallel != nil)
+	}
+	if res.Seeds[0] != sim.Seed {
+		t.Fatalf("replicate 0 ran seed %d, want the base seed %d", res.Seeds[0], sim.Seed)
+	}
+	if len(res.Trajectory) == 0 {
+		t.Fatal("no aggregate trajectory for a sampled serial ensemble")
+	}
+	var events int
+	for k, r := range res.Serial {
+		solo := sim
+		solo.Seed = res.Seeds[k]
+		want, err := Simulate(context.Background(), solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(r.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("replicate %d differs from solo Simulate of seed %d", k, res.Seeds[k])
+		}
+		events += r.PCEvents
+	}
+	if res.Metrics.PCEvents != events {
+		t.Fatalf("merged PCEvents = %d, want the replicate sum %d", res.Metrics.PCEvents, events)
+	}
+	last := res.Trajectory[len(res.Trajectory)-1]
+	if last.CooperationMean < 0 || last.CooperationMean > 1 || last.CooperationStd < 0 {
+		t.Fatalf("implausible aggregate point: %+v", last)
+	}
+}
+
+// TestRunEnsembleParallelFacade mirrors the serial facade test for the
+// distributed engine.
+func TestRunEnsembleParallelFacade(t *testing.T) {
+	par := ParallelConfig{
+		Ranks: 3, OptimizationLevel: 3, NumSSets: 12, AgentsPerSSet: 2,
+		MemorySteps: 1, Rounds: 20, PCRate: 1, MutationRate: 0.25, Beta: 1,
+		Generations: 30, Seed: 41, EvalMode: EvalCached,
+	}
+	res, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 2, Parallel: &par,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parallel) != 2 || res.Serial != nil {
+		t.Fatalf("parallel ensemble shape: %d parallel, serial=%v", len(res.Parallel), res.Serial != nil)
+	}
+	for k, r := range res.Parallel {
+		solo := par
+		solo.Seed = res.Seeds[k]
+		want, err := SimulateParallel(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(r.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("replicate %d differs from solo SimulateParallel of seed %d", k, res.Seeds[k])
+		}
+	}
+}
+
+// TestRunEnsembleValidation covers the facade-level error paths.
+func TestRunEnsembleValidation(t *testing.T) {
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{Replicates: 2}); err == nil {
+		t.Fatal("ensemble with no engine config accepted")
+	}
+	sim := SimulationConfig{NumSSets: 8, AgentsPerSSet: 2, MemorySteps: 1, Generations: 2}
+	par := ParallelConfig{Ranks: 3, NumSSets: 8, AgentsPerSSet: 2, MemorySteps: 1, Generations: 2}
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 2, Simulation: &sim, Parallel: &par,
+	}); err == nil {
+		t.Fatal("ensemble with both engine configs accepted")
+	}
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 2, EnsembleWorkers: -1, Simulation: &sim,
+	}); err == nil {
+		t.Fatal("negative EnsembleWorkers accepted")
+	}
+	ckpt := sim
+	ckpt.CheckpointPath = t.TempDir() + "/c.ckpt"
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 2, Simulation: &ckpt,
+	}); err == nil {
+		t.Fatal("checkpointing inside an ensemble accepted")
+	}
+}

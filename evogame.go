@@ -364,6 +364,37 @@ func (m Metrics) BatchLaneOccupancy() float64 {
 	return fitness.Metrics{BatchGames: m.BatchGames, BatchCalls: m.BatchCalls}.BatchLaneOccupancy()
 }
 
+// Merge folds another run's (or rank's) metrics into m, with the same
+// semantics as the engines' internal merge: every counter is summed and
+// Generations is taken as the maximum, so merging the ranks of one run
+// keeps its generation count while the batch-lane occupancy re-weights
+// itself by the combined BatchGames/BatchCalls.  Ensemble aggregation uses
+// it to fold per-replicate metrics into one envelope.
+func (m *Metrics) Merge(o Metrics) {
+	a := m.toInternal()
+	a.Merge(o.toInternal())
+	*m = metricsFromInternal(a)
+}
+
+// toInternal maps the facade metrics back onto the internal flat struct.
+func (m Metrics) toInternal() fitness.Metrics {
+	return fitness.Metrics{
+		Generations:   m.Generations,
+		CachePlays:    m.CachePlays,
+		CacheHits:     m.CacheHits,
+		CacheMisses:   m.CacheMisses,
+		CacheBypassed: m.CacheBypassed,
+		CacheEvicted:  m.CacheEvicted,
+		ScalarGames:   m.ScalarGames,
+		CycleGames:    m.CycleGames,
+		BatchGames:    m.BatchGames,
+		BatchCalls:    m.BatchCalls,
+		PCEvents:      m.PCEvents,
+		Adoptions:     m.Adoptions,
+		Mutations:     m.Mutations,
+	}
+}
+
 func metricsFromInternal(m fitness.Metrics) Metrics {
 	return Metrics{
 		Generations:   m.Generations,
@@ -519,6 +550,12 @@ func runSerial(ctx context.Context, model *population.Model, generations int) (S
 	if err != nil {
 		return SimulationResult{}, err
 	}
+	return serialResultFromInternal(res), nil
+}
+
+// serialResultFromInternal maps a serial-engine result onto the facade's
+// types; the single-run paths and RunEnsemble share it.
+func serialResultFromInternal(res population.Result) SimulationResult {
 	out := SimulationResult{
 		Generations:     res.Generations,
 		FinalStrategies: renderStrategies(res.FinalStrategies),
@@ -540,7 +577,7 @@ func runSerial(ctx context.Context, model *population.Model, generations int) (S
 			MeanDefectingStates: s.MeanDefectingStates,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // ParallelConfig configures the distributed engine.
@@ -726,6 +763,12 @@ func runParallel(internal parallel.Config) (ParallelResult, error) {
 	if err != nil {
 		return ParallelResult{}, err
 	}
+	return parallelResultFromInternal(res), nil
+}
+
+// parallelResultFromInternal maps a distributed-engine result onto the
+// facade's types; the single-run paths and RunEnsemble share it.
+func parallelResultFromInternal(res parallel.Result) ParallelResult {
 	out := ParallelResult{
 		Generations:      res.Generations,
 		FinalStrategies:  renderStrategies(res.FinalStrategies),
@@ -750,7 +793,7 @@ func runParallel(internal parallel.Config) (ParallelResult, error) {
 			BytesSent:        r.CommStats.BytesSent,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // NamedStrategy returns the move-table string of a built-in strategy

@@ -1,48 +1,94 @@
 // Memory sweep: the Figure 5 workload.  The same population is simulated
-// with memory-one through memory-six strategies on the distributed engine,
-// and the per-rank compute and communication times are reported, showing
+// with memory-one through memory-six strategies on the distributed engine —
+// -replicates independent replicates per depth through the ensemble tier,
+// the way the paper averages its figures — and the per-rank compute and
+// communication times are reported as mean ± std over replicates, showing
 // how the cost of identifying the game state grows with memory depth while
 // communication stays flat.  The Blue Gene/P prediction for the paper's
 // full-size workload is printed alongside.
 //
 //	go run ./examples/memory_sweep
+//	go run ./examples/memory_sweep -replicates 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 
 	"evogame"
 )
 
-func main() {
-	ssets := flag.Int("ssets", 48, "number of Strategy Sets")
-	ranks := flag.Int("ranks", 5, "total ranks (Nature + SSet ranks)")
-	generations := flag.Int("generations", 10, "generations per memory depth")
-	flag.Parse()
+// meanStd returns the sample mean and standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}
 
-	fmt.Printf("distributed runs: %d SSets, %d ranks, %d generations, 200 rounds/game\n\n",
-		*ssets, *ranks, *generations)
-	fmt.Println("memory   compute(s)   comm(s)   wallclock(s)   games")
-	for mem := 1; mem <= evogame.MaxMemorySteps; mem++ {
-		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
-			Ranks:             *ranks,
-			NumSSets:          *ssets,
+// sweepDepth runs one memory depth as an ensemble of replicates and reports
+// the per-replicate compute/comm/wallclock means and standard deviations.
+func sweepDepth(mem, ssets, ranks, generations, replicates, optLevel int) (computeM, computeS, commM, commS, wallM, wallS float64, games int64, err error) {
+	res, err := evogame.RunEnsemble(context.Background(), evogame.EnsembleConfig{
+		Replicates: replicates,
+		Parallel: &evogame.ParallelConfig{
+			Ranks:             ranks,
+			NumSSets:          ssets,
 			AgentsPerSSet:     4,
 			MemorySteps:       mem,
 			Rounds:            evogame.DefaultRounds,
 			PCRate:            0.1,
 			MutationRate:      0.05,
-			Generations:       *generations,
+			Generations:       generations,
 			Seed:              2013,
-			OptimizationLevel: 3,
-		})
+			OptimizationLevel: optLevel,
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, 0, 0, 0, 0, err
+	}
+	var compute, comm, wall []float64
+	for _, r := range res.Parallel {
+		compute = append(compute, r.ComputeSeconds)
+		comm = append(comm, r.CommSeconds)
+		wall = append(wall, r.WallClockSeconds)
+		games += r.TotalGames
+	}
+	computeM, computeS = meanStd(compute)
+	commM, commS = meanStd(comm)
+	wallM, wallS = meanStd(wall)
+	return computeM, computeS, commM, commS, wallM, wallS, games, nil
+}
+
+func main() {
+	ssets := flag.Int("ssets", 48, "number of Strategy Sets")
+	ranks := flag.Int("ranks", 5, "total ranks (Nature + SSet ranks)")
+	generations := flag.Int("generations", 10, "generations per memory depth")
+	replicates := flag.Int("replicates", 3, "independent replicates per memory depth (ensemble tier)")
+	flag.Parse()
+
+	fmt.Printf("distributed runs: %d SSets, %d ranks, %d generations, %d replicates, 200 rounds/game\n\n",
+		*ssets, *ranks, *generations, *replicates)
+	fmt.Println("memory    compute(s)        comm(s)           wallclock(s)      games")
+	for mem := 1; mem <= evogame.MaxMemorySteps; mem++ {
+		cm, cs, mm, ms, wm, ws, games, err := sweepDepth(mem, *ssets, *ranks, *generations, *replicates, 3)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%6d   %10.3f   %7.4f   %12.3f   %d\n",
-			mem, res.ComputeSeconds, res.CommSeconds, res.WallClockSeconds, res.TotalGames)
+		fmt.Printf("%6d   %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f   %d\n",
+			mem, cm, cs, mm, ms, wm, ws, games)
 	}
 
 	// The paper attributes the growth in runtime with memory depth to
@@ -53,25 +99,14 @@ func main() {
 	// the 4,096-row search makes them impractically slow, which is itself
 	// the paper's point.
 	fmt.Println("\nsame sweep with the original linear state search (optimization level 1), memory 1..4:")
-	fmt.Println("memory   compute(s)   comm(s)   wallclock(s)")
+	fmt.Println("memory    compute(s)        comm(s)           wallclock(s)")
 	for mem := 1; mem <= 4; mem++ {
-		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
-			Ranks:             *ranks,
-			NumSSets:          *ssets,
-			AgentsPerSSet:     4,
-			MemorySteps:       mem,
-			Rounds:            evogame.DefaultRounds,
-			PCRate:            0.1,
-			MutationRate:      0.05,
-			Generations:       *generations,
-			Seed:              2013,
-			OptimizationLevel: 1,
-		})
+		cm, cs, mm, ms, wm, ws, _, err := sweepDepth(mem, *ssets, *ranks, *generations, *replicates, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%6d   %10.3f   %7.4f   %12.3f\n",
-			mem, res.ComputeSeconds, res.CommSeconds, res.WallClockSeconds)
+		fmt.Printf("%6d   %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f\n",
+			mem, cm, cs, mm, ms, wm, ws)
 	}
 
 	fmt.Println("\nBlue Gene/P model for the paper's workload (2,048 SSets, 20 generations, 2,048 processors):")

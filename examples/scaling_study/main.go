@@ -2,6 +2,10 @@
 // Real strong and weak scaling are measured with goroutine ranks on the
 // local host, and the analytic performance model extrapolates the same
 // algorithm to Blue Gene/P (294,912 cores) and Blue Gene/Q (16,384 tasks).
+// Each point here is a single timed run; to average scaling points over
+// replicates the way the paper's figures do, run them through the ensemble
+// tier (evogame.RunEnsemble, or `evogame -replicates N`) as
+// examples/memory_sweep now does.
 //
 //	go run ./examples/scaling_study
 //	go run ./examples/scaling_study -calibrate   # measure the game kernel first

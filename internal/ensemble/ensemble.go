@@ -1,0 +1,390 @@
+// Package ensemble runs many independent replicates of one simulation
+// configuration — the shape of every headline result in the paper (the
+// Figure 5 memory sweep, the Figure 6 scaling study, every averaged
+// trajectory) — concurrently under a bounded worker pool, and aggregates
+// them deterministically.
+//
+// Each replicate k runs the underlying engine (serial or distributed)
+// unchanged with a seed derived by ReplicateSeed, so its trajectory is
+// bit-identical to running that seed solo.  The throughput win is
+// cross-run sharing: for noiseless deterministic configurations all
+// replicates evaluate fitness through per-run views over one shared
+// fitness.PairCache store (one interning registry, one 64-shard memoized
+// pair table), so replicate k starts with every pair any earlier replicate
+// already played served as a cache hit.  Noisy or mixed configurations
+// keep the engines' existing bypass — the shared store is simply never
+// consulted — so RNG streams never move.
+//
+// Worker budget: ensemble-level concurrency and per-run worker fan-out
+// multiply, so by default the two tiers split GOMAXPROCS instead of
+// oversubscribing it — EnsembleWorkers resolves to min(Replicates,
+// GOMAXPROCS) and an unset per-run Workers/WorkersPerRank resolves to
+// GOMAXPROCS divided by the ensemble workers (floor 1).  Explicitly set
+// values win on both tiers.
+package ensemble
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"evogame/internal/fitness"
+	"evogame/internal/game"
+	"evogame/internal/parallel"
+	"evogame/internal/population"
+	"evogame/internal/stats"
+)
+
+// Config controls the ensemble tier: how many replicates to run and how
+// many of them may be in flight at once.  The per-run configuration (and
+// the base seed the replicate seeds derive from) comes from the engine
+// config passed to RunSerial / RunParallel.
+type Config struct {
+	// Replicates is the number of independent runs; it must be at least 1.
+	// Replicate k runs with seed ReplicateSeed(base.Seed, k).
+	Replicates int
+	// Workers bounds how many replicates run concurrently.  Zero selects
+	// min(Replicates, GOMAXPROCS); negative values are rejected.
+	Workers int
+	// PrivateCaches disables cross-run sharing: every replicate builds its
+	// own PairCache exactly as a solo run would.  Results are identical
+	// either way (the shared store only changes which lookups hit); the
+	// flag exists for benchmarking the sharing itself and for keeping
+	// memory bounded per run.
+	PrivateCaches bool
+}
+
+// resolveWorkers applies the worker-budget rule to the ensemble tier.
+func (c Config) resolveWorkers() (int, error) {
+	if c.Replicates < 1 {
+		return 0, fmt.Errorf("ensemble: Replicates must be at least 1, got %d", c.Replicates)
+	}
+	if c.Workers < 0 {
+		return 0, fmt.Errorf("ensemble: Workers must be non-negative, got %d (0 selects min(Replicates, GOMAXPROCS))", c.Workers)
+	}
+	w := c.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Replicates {
+		w = c.Replicates
+	}
+	return w, nil
+}
+
+// perRunWorkers returns the default per-run worker budget when the engine
+// config leaves it unset: the share of GOMAXPROCS left to each of the
+// ensembleWorkers concurrent runs, never below 1.
+func perRunWorkers(ensembleWorkers int) int {
+	w := runtime.GOMAXPROCS(0) / ensembleWorkers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ReplicateSeed derives the seed of replicate k from the base seed.
+// Replicate 0 runs the base seed itself, so a one-replicate ensemble is the
+// solo run; later replicates mix k through a splitmix64-style finalizer so
+// the derived seeds are uncorrelated but reproducible.
+func ReplicateSeed(base uint64, k int) uint64 {
+	if k == 0 {
+		return base
+	}
+	x := base + uint64(k)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// TrajectoryPoint is one generation of the ensemble-aggregated trajectory:
+// mean and standard deviation (over replicates) of the population's
+// cooperativity and WSLS abundance at that sampled generation.
+type TrajectoryPoint struct {
+	// Generation is the sampled generation (identical across replicates).
+	Generation int
+	// Cooperation is 1 - MeanDefectingStates averaged over replicates, and
+	// CooperationStd its sample standard deviation.
+	Cooperation    float64
+	CooperationStd float64
+	// WSLS is the mean fraction of SSets holding the canonical
+	// win-stay-lose-shift strategy, WSLSStd its standard deviation.
+	WSLS    float64
+	WSLSStd float64
+}
+
+// SerialResult is the outcome of an ensemble of serial-engine runs.
+type SerialResult struct {
+	// Seeds[k] is the seed replicate k ran with.
+	Seeds []uint64
+	// Runs[k] is replicate k's full result, bit-identical to running
+	// Seeds[k] solo with a private cache.
+	Runs []population.Result
+	// Trajectory is the mean/std cooperation trajectory over replicates,
+	// one point per sampled generation.
+	Trajectory []TrajectoryPoint
+	// Metrics merges every replicate's flat metrics (counters summed,
+	// batch-lane occupancy re-weighted by calls; see fitness.Metrics.Merge).
+	Metrics fitness.Metrics
+	// EnsembleWorkers and RunWorkers record the resolved worker budget.
+	EnsembleWorkers int
+	RunWorkers      int
+	// WallClock is the end-to-end ensemble time.
+	WallClock time.Duration
+}
+
+// RunSerial runs cfg.Replicates serial-engine replicates of base
+// concurrently and aggregates them.  Replicate k runs base with
+// Seed=ReplicateSeed(base.Seed, k); for noiseless cached configurations all
+// replicates share one PairCache store unless cfg.PrivateCaches is set.
+// Checkpointing must be disabled in base — replicates would race on one
+// file — and base.SharedCache must be unset (the ensemble owns the store).
+func RunSerial(ctx context.Context, base population.Config, generations int, cfg Config) (SerialResult, error) {
+	workers, err := cfg.resolveWorkers()
+	if err != nil {
+		return SerialResult{}, err
+	}
+	if base.CheckpointPath != "" || base.CheckpointEvery != 0 {
+		return SerialResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); run seeds individually to checkpoint them", base.CheckpointPath)
+	}
+	if base.SharedCache != nil {
+		return SerialResult{}, fmt.Errorf("ensemble: base.SharedCache must be unset; the ensemble manages the shared store")
+	}
+	if base.Workers == 0 {
+		base.Workers = perRunWorkers(workers)
+	}
+	if !cfg.PrivateCaches && base.EvalMode != fitness.EvalFull && base.Noise == 0 {
+		// Build the shared store from an engine configured exactly as the
+		// runs configure theirs, so the store identity (game ID + memory
+		// depth) matches every replicate's view.  The master engine itself
+		// never plays a game: misses go through each replicate's own engine.
+		eng, err := game.NewEngine(game.EngineConfig{
+			Game:        base.Game,
+			Rounds:      base.Rounds,
+			MemorySteps: base.MemorySteps,
+			Noise:       base.Noise,
+			StateMode:   base.StateMode,
+			AccumMode:   base.AccumMode,
+			Kernel:      base.Kernel,
+		})
+		if err != nil {
+			return SerialResult{}, err
+		}
+		if base.SharedCache, err = fitness.NewPairCache(eng); err != nil {
+			return SerialResult{}, err
+		}
+	}
+
+	n := cfg.Replicates
+	res := SerialResult{
+		Seeds:           make([]uint64, n),
+		Runs:            make([]population.Result, n),
+		EnsembleWorkers: workers,
+		RunWorkers:      base.Workers,
+	}
+	for k := 0; k < n; k++ {
+		res.Seeds[k] = ReplicateSeed(base.Seed, k)
+	}
+	errs := make([]error, n)
+	start := time.Now()
+	runReplicates(workers, n, func(k int) {
+		rcfg := base
+		rcfg.Seed = res.Seeds[k]
+		model, err := population.New(rcfg)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		res.Runs[k], errs[k] = model.Run(ctx, generations)
+	})
+	res.WallClock = time.Since(start)
+	for k, err := range errs {
+		if err != nil {
+			return SerialResult{}, fmt.Errorf("ensemble: replicate %d (seed %d): %w", k, res.Seeds[k], err)
+		}
+	}
+	res.Trajectory = aggregateTrajectory(res.Runs)
+	res.Metrics = mergeMetrics(serialMetrics(res.Runs))
+	return res, nil
+}
+
+// ParallelResult is the outcome of an ensemble of distributed-engine runs.
+type ParallelResult struct {
+	// Seeds[k] is the seed replicate k ran with.
+	Seeds []uint64
+	// Runs[k] is replicate k's full result, bit-identical to running
+	// Seeds[k] solo with private caches.
+	Runs []parallel.Result
+	// Metrics merges every replicate's flat metrics.
+	Metrics fitness.Metrics
+	// EnsembleWorkers and RunWorkers record the resolved worker budget.
+	EnsembleWorkers int
+	RunWorkers      int
+	// WallClock is the end-to-end ensemble time.  Because replicates run
+	// concurrently it is less than the sum of the per-run WallClock fields.
+	WallClock time.Duration
+}
+
+// RunParallel runs cfg.Replicates distributed-engine replicates of base
+// concurrently and aggregates them; the sharing, seed-derivation and
+// worker-budget rules match RunSerial (each replicate's ranks additionally
+// share that store among themselves, as they already shared one rank-set
+// cache's worth of results in spirit — every rank gets its own view).
+func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
+	workers, err := cfg.resolveWorkers()
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	if base.CheckpointPath != "" || base.CheckpointEvery != 0 {
+		return ParallelResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); run seeds individually to checkpoint them", base.CheckpointPath)
+	}
+	if base.Resume != nil {
+		return ParallelResult{}, fmt.Errorf("ensemble: Resume is per-run; resume the single run it belongs to")
+	}
+	if base.SharedCache != nil {
+		return ParallelResult{}, fmt.Errorf("ensemble: base.SharedCache must be unset; the ensemble manages the shared store")
+	}
+	if base.WorkersPerRank == 0 {
+		base.WorkersPerRank = perRunWorkers(workers)
+	}
+	if !cfg.PrivateCaches && base.EvalMode != fitness.EvalFull && base.Noise == 0 {
+		eng, err := game.NewEngine(game.EngineConfig{
+			Game:        base.Game,
+			Rounds:      base.Rounds,
+			MemorySteps: base.MemorySteps,
+			Noise:       base.Noise,
+			Kernel:      base.Kernel,
+		})
+		if err != nil {
+			return ParallelResult{}, err
+		}
+		if base.SharedCache, err = fitness.NewPairCache(eng); err != nil {
+			return ParallelResult{}, err
+		}
+	}
+
+	n := cfg.Replicates
+	res := ParallelResult{
+		Seeds:           make([]uint64, n),
+		Runs:            make([]parallel.Result, n),
+		EnsembleWorkers: workers,
+		RunWorkers:      base.WorkersPerRank,
+	}
+	for k := 0; k < n; k++ {
+		res.Seeds[k] = ReplicateSeed(base.Seed, k)
+	}
+	errs := make([]error, n)
+	start := time.Now()
+	runReplicates(workers, n, func(k int) {
+		rcfg := base
+		rcfg.Seed = res.Seeds[k]
+		res.Runs[k], errs[k] = parallel.Run(rcfg)
+	})
+	res.WallClock = time.Since(start)
+	for k, err := range errs {
+		if err != nil {
+			return ParallelResult{}, fmt.Errorf("ensemble: replicate %d (seed %d): %w", k, res.Seeds[k], err)
+		}
+	}
+	mets := make([]fitness.Metrics, n)
+	for k, r := range res.Runs {
+		mets[k] = r.Metrics
+	}
+	res.Metrics = mergeMetrics(mets)
+	return res, nil
+}
+
+// runReplicates executes fn(0..n-1) on a pool of `workers` goroutines.
+// Replicate indices are handed out in order; results land in
+// index-addressed slices, so aggregation order never depends on scheduling.
+func runReplicates(workers, n int, fn func(k int)) {
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				fn(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// serialMetrics projects the per-run metrics out of serial results.
+func serialMetrics(runs []population.Result) []fitness.Metrics {
+	mets := make([]fitness.Metrics, len(runs))
+	for k, r := range runs {
+		mets[k] = r.Metrics
+	}
+	return mets
+}
+
+// mergeMetrics folds per-replicate metrics in replicate order.
+func mergeMetrics(mets []fitness.Metrics) fitness.Metrics {
+	var merged fitness.Metrics
+	for k, m := range mets {
+		if k == 0 {
+			merged = m
+			continue
+		}
+		merged.Merge(m)
+	}
+	return merged
+}
+
+// aggregateTrajectory folds the replicates' abundance samples into mean/std
+// points.  Replicates of one configuration sample the same generations; a
+// point is emitted only for sample indices where every replicate agrees on
+// the generation, so a ragged edge degrades to a shorter trajectory rather
+// than mixing generations.
+func aggregateTrajectory(runs []population.Result) []TrajectoryPoint {
+	if len(runs) == 0 {
+		return nil
+	}
+	minLen := len(runs[0].Samples)
+	for _, r := range runs[1:] {
+		if len(r.Samples) < minLen {
+			minLen = len(r.Samples)
+		}
+	}
+	traj := make([]TrajectoryPoint, 0, minLen)
+	for j := 0; j < minLen; j++ {
+		gen := runs[0].Samples[j].Generation
+		aligned := true
+		var coop, wsls stats.Welford
+		for _, r := range runs {
+			s := r.Samples[j]
+			if s.Generation != gen {
+				aligned = false
+				break
+			}
+			coop.Add(1 - s.MeanDefectingStates)
+			wsls.Add(s.WSLSFraction)
+		}
+		if !aligned {
+			break
+		}
+		traj = append(traj, TrajectoryPoint{
+			Generation:     gen,
+			Cooperation:    coop.Mean(),
+			CooperationStd: coop.StdDev(),
+			WSLS:           wsls.Mean(),
+			WSLSStd:        wsls.StdDev(),
+		})
+	}
+	return traj
+}

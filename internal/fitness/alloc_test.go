@@ -132,7 +132,7 @@ func testCacheSmallShards(t *testing.T, maxPerShard int) *PairCache {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.maxPerShard = maxPerShard
+	cache.store.maxPerShard = maxPerShard
 	return cache
 }
 
@@ -165,8 +165,8 @@ func TestBoundedEvictionKeepsMirrorInvariant(t *testing.T) {
 		t.Fatal("eviction emptied the cache; it must drop a bounded fraction only")
 	}
 	// Mirror invariant: scan every shard under its read lock.
-	for si := range cache.shards {
-		sh := &cache.shards[si]
+	for si := range cache.store.shards {
+		sh := &cache.store.shards[si]
 		sh.mu.RLock()
 		for k, res := range sh.entries {
 			mk := mirrorKey(k)

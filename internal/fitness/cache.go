@@ -97,6 +97,44 @@ func shardIndex(a, b uint32) int {
 	return int(h & (numShards - 1))
 }
 
+// pairStore is the shareable state behind one or more PairCache views: the
+// sharded result table, the interning registry issuing the dense IDs the
+// table is keyed by, and the game identity every memoized result belongs
+// to.  All of it is safe for concurrent use — shards are RWMutex-locked and
+// the registry locks internally — so independent runs (ensemble replicates)
+// may warm a single store concurrently through their own views.
+type pairStore struct {
+	gameID      string
+	memorySteps int
+	maxPerShard int
+	reg         *intern.Registry
+
+	shards [numShards]cacheShard
+}
+
+// compatible reports whether results memoized in this store are valid for
+// games played by eng.  The game ID covers the payoff spec and round count;
+// memory depth is checked separately because the ID does not encode it, and
+// noise must be zero because noisy results are not pure functions of the
+// pair.  Kernel mode deliberately does not participate: every kernel is
+// bit-identical on the deterministic noiseless path, so views over the same
+// store may mix them.
+func (st *pairStore) compatible(eng *game.Engine) error {
+	if eng == nil {
+		return fmt.Errorf("fitness: nil engine")
+	}
+	if eng.Noise() > 0 {
+		return fmt.Errorf("fitness: shared cache requires a noiseless engine, got noise=%v", eng.Noise())
+	}
+	if got := eng.GameID(); got != st.gameID {
+		return fmt.Errorf("fitness: shared cache is bound to game %q, engine plays %q", st.gameID, got)
+	}
+	if got := eng.MemorySteps(); got != st.memorySteps {
+		return fmt.Errorf("fitness: shared cache is bound to memory-%d strategies, engine expects memory-%d", st.memorySteps, got)
+	}
+	return nil
+}
+
 // PairCache memoizes game results per distinct strategy pair, keyed by the
 // dense IDs of an intern.Registry rather than encoded strategy strings, so
 // the hot lookup path is integer arithmetic with no allocations.  The store
@@ -105,13 +143,18 @@ func shardIndex(a, b uint32) int {
 // serialise on each other.  Results are pure functions of the pair; racing
 // workers at worst replay a pair once each and store the identical result
 // (counted once, keeping the play counter deterministic for a given seed).
+//
+// A PairCache is a view: the result table and registry live in a pairStore
+// that additional views may share (see NewView), while the engine used to
+// play misses and the hit/miss/bypass counters are per view.  A solo run
+// owns a private store; ensemble replicates each hold their own view over
+// one shared store, so kernel statistics and cache counters stay attributed
+// to the run that incurred them while results warmed by any replicate serve
+// all of them.
 type PairCache struct {
-	eng         *game.Engine
-	gameID      string
-	reg         *intern.Registry
-	maxPerShard int
+	eng   *game.Engine
+	store *pairStore
 
-	shards   [numShards]cacheShard
 	hits     atomic.Int64
 	misses   atomic.Int64
 	bypassed atomic.Int64
@@ -119,7 +162,7 @@ type PairCache struct {
 }
 
 // NewPairCache returns an empty cache bound to the given engine, with a
-// fresh strategy-interning registry (see Interner).
+// fresh strategy-interning registry (see Interner) and a private store.
 func NewPairCache(eng *game.Engine) (*PairCache, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("fitness: nil engine")
@@ -131,11 +174,30 @@ func NewPairCache(eng *game.Engine) (*PairCache, error) {
 	if maxPerShard < 64 {
 		maxPerShard = 64
 	}
-	c := &PairCache{eng: eng, gameID: eng.GameID(), reg: intern.NewRegistry(), maxPerShard: maxPerShard}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[uint64]game.Result)
+	st := &pairStore{
+		gameID:      eng.GameID(),
+		memorySteps: eng.MemorySteps(),
+		maxPerShard: maxPerShard,
+		reg:         intern.NewRegistry(),
 	}
-	return c, nil
+	for i := range st.shards {
+		st.shards[i].entries = make(map[uint64]game.Result)
+	}
+	return &PairCache{eng: eng, store: st}, nil
+}
+
+// NewView returns a fresh view over this cache's underlying store, bound to
+// the given engine: lookups hit the same memoized results and the same
+// interning registry, but misses are played through eng (so its kernel
+// statistics account for them) and the new view's counters start at zero.
+// The engine must play the identical deterministic game — same game ID,
+// same memory depth, noiseless — or an error is returned; results from a
+// different game must never be served across views.
+func (c *PairCache) NewView(eng *game.Engine) (*PairCache, error) {
+	if err := c.store.compatible(eng); err != nil {
+		return nil, err
+	}
+	return &PairCache{eng: eng, store: c.store}, nil
 }
 
 // CacheUsable reports whether the cache-validity conditions hold for a
@@ -161,14 +223,17 @@ func CacheUsable(eng *game.Engine, table []strategy.Strategy) bool {
 func (c *PairCache) Engine() *game.Engine { return c.eng }
 
 // GameID returns the canonical identity of the game every memoized result
-// belongs to.  A cache is bound to one engine, so results cannot leak
-// between scenarios by construction.
-func (c *PairCache) GameID() string { return c.gameID }
+// belongs to.  A store is bound to one game (and every view's engine is
+// checked against it), so results cannot leak between scenarios by
+// construction.
+func (c *PairCache) GameID() string { return c.store.gameID }
 
 // Interner returns the registry issuing the dense strategy IDs PlayID
 // accepts.  Engines intern their strategy tables through it once per
 // strategy-change event, so the per-game path never touches the codec.
-func (c *PairCache) Interner() *intern.Registry { return c.reg }
+// Views over one store share one registry, so an ID issued to any view is
+// valid in all of them.
+func (c *PairCache) Interner() *intern.Registry { return c.store.reg }
 
 // DeltaExact reports whether the IncrementalMatrix's delta updates are
 // bit-exact for the engine's game: with an integer-valued payoff matrix
@@ -219,7 +284,7 @@ func swap(r game.Result) game.Result {
 // no allocations and takes only a shard read lock.
 func (c *PairCache) PlayID(a, b uint32) (game.Result, error) {
 	key := pairKey(a, b)
-	sh := &c.shards[shardIndex(a, b)]
+	sh := &c.store.shards[shardIndex(a, b)]
 	sh.mu.RLock()
 	res, ok := sh.entries[key]
 	sh.mu.RUnlock()
@@ -228,11 +293,11 @@ func (c *PairCache) PlayID(a, b uint32) (game.Result, error) {
 		return res, nil
 	}
 
-	sa, err := c.reg.Strategy(a)
+	sa, err := c.store.reg.Strategy(a)
 	if err != nil {
 		return game.Result{}, fmt.Errorf("fitness: %w", err)
 	}
-	sb, err := c.reg.Strategy(b)
+	sb, err := c.store.reg.Strategy(b)
 	if err != nil {
 		return game.Result{}, fmt.Errorf("fitness: %w", err)
 	}
@@ -250,7 +315,7 @@ func (c *PairCache) PlayID(a, b uint32) (game.Result, error) {
 	// a given seed regardless of scheduling.
 	if _, ok := sh.entries[key]; !ok {
 		c.misses.Add(1)
-		if len(sh.entries) >= c.maxPerShard {
+		if len(sh.entries) >= c.store.maxPerShard {
 			c.evicted.Add(int64(sh.evict()))
 		}
 		sh.entries[key] = res
@@ -278,7 +343,7 @@ func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error 
 	var missIdx []int
 	for i, b := range bs {
 		key := pairKey(a, b)
-		sh := &c.shards[shardIndex(a, b)]
+		sh := &c.store.shards[shardIndex(a, b)]
 		sh.mu.RLock()
 		res, ok := sh.entries[key]
 		sh.mu.RUnlock()
@@ -293,7 +358,7 @@ func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error 
 		return nil
 	}
 
-	sa, err := c.reg.Strategy(a)
+	sa, err := c.store.reg.Strategy(a)
 	if err != nil {
 		return fmt.Errorf("fitness: %w", err)
 	}
@@ -305,7 +370,7 @@ func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error 
 		if _, ok := pos[b]; ok {
 			continue
 		}
-		sb, err := c.reg.Strategy(b)
+		sb, err := c.store.reg.Strategy(b)
 		if err != nil {
 			return fmt.Errorf("fitness: %w", err)
 		}
@@ -321,7 +386,7 @@ func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error 
 	}
 	for k, b := range order {
 		key := pairKey(a, b)
-		sh := &c.shards[shardIndex(a, b)]
+		sh := &c.store.shards[shardIndex(a, b)]
 		sh.mu.Lock()
 		// Count-once semantics as in PlayID: a racing worker that stored the
 		// pair first wins, and its (identical) result is what callers see.
@@ -329,7 +394,7 @@ func (c *PairCache) PlayIDBatch(a uint32, bs []uint32, out []game.Result) error 
 			results[k] = stored
 		} else {
 			c.misses.Add(1)
-			if len(sh.entries) >= c.maxPerShard {
+			if len(sh.entries) >= c.store.maxPerShard {
 				c.evicted.Add(int64(sh.evict()))
 			}
 			sh.entries[key] = results[k]
@@ -356,8 +421,8 @@ func (c *PairCache) Play(a, b strategy.Strategy, src *rng.Source) (game.Result, 
 	if !c.Cacheable(a, b) {
 		return c.playBypass(a, b, src)
 	}
-	ida, errA := c.reg.Intern(a)
-	idb, errB := c.reg.Intern(b)
+	ida, errA := c.store.reg.Intern(a)
+	idb, errB := c.store.reg.Intern(b)
 	if errA != nil || errB != nil {
 		// Unknown strategy implementation: play without memoizing.
 		return c.playBypass(a, b, src)
@@ -392,15 +457,16 @@ func (c *PairCache) Misses() int64 { return c.misses.Load() }
 // non-codec strategies) played through the cache without being memoized.
 func (c *PairCache) Bypassed() int64 { return c.bypassed.Load() }
 
-// Evicted returns the number of memoized entries dropped by bounded
-// eviction after a shard reached its memory budget.
+// Evicted returns the number of memoized entries this view dropped by
+// bounded eviction after a shard reached its memory budget.
 func (c *PairCache) Evicted() int64 { return c.evicted.Load() }
 
-// Len returns the number of memoized ordered pairs.
+// Len returns the number of memoized ordered pairs in the underlying store
+// (shared across views).
 func (c *PairCache) Len() int {
 	total := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range c.store.shards {
+		sh := &c.store.shards[i]
 		sh.mu.RLock()
 		total += len(sh.entries)
 		sh.mu.RUnlock()

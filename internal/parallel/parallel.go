@@ -203,6 +203,18 @@ type Config struct {
 	// starts from its table with fresh streams.  The snapshot's identity
 	// (shape, seed, game, rule, topology) must match the Config.
 	Resume *checkpoint.Snapshot
+	// SharedCache, when non-nil, makes every SSet rank evaluate fitness
+	// through a view over the given cache's store instead of a rank-private
+	// PairCache, so independent runs of the same configuration (ensemble
+	// replicates) — and the ranks within each — share one interning
+	// registry and one memoized pair table.  It only takes effect when a
+	// rank would build a cache anyway (EvalMode != EvalFull and the
+	// noiseless/deterministic gate holds); the noise and mixed-strategy
+	// bypasses ignore it, so RNG streams never move and every run stays
+	// bit-identical per seed to the same run with private caches.  The
+	// cache must be bound to the identical game (same spec, payoff, rounds
+	// and memory depth) or the run fails.
+	SharedCache *fitness.PairCache
 }
 
 // startGeneration returns the absolute generation the run begins at: zero
@@ -762,9 +774,19 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	var ids []uint32
 	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
 	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, table) {
-		cache, err = fitness.NewPairCache(engine)
-		if err != nil {
-			return RankReport{}, err
+		if cfg.SharedCache != nil {
+			// A rank-local view over the shared store: lookups are served
+			// from (and misses warm) the cross-run table while the rank's
+			// counters stay attributed to this rank's own engine.
+			cache, err = cfg.SharedCache.NewView(engine)
+			if err != nil {
+				return RankReport{}, fmt.Errorf("parallel: rank %d SharedCache: %w", c.Rank(), err)
+			}
+		} else {
+			cache, err = fitness.NewPairCache(engine)
+			if err != nil {
+				return RankReport{}, err
+			}
 		}
 		if evalMode == fitness.EvalIncremental {
 			matrix, err = fitness.NewIncrementalMatrix(cache, graph, table, lo, hi)

@@ -142,6 +142,17 @@ type Config struct {
 	CheckpointEvery int
 	// CheckpointLabel is recorded as the checkpoint's free-form Label.
 	CheckpointLabel string
+	// SharedCache, when non-nil, makes the run evaluate fitness through a
+	// view over the given cache's store instead of a private PairCache, so
+	// independent runs of the same configuration (ensemble replicates) share
+	// one interning registry and one memoized pair table.  It only takes
+	// effect when the run would build a cache anyway (EvalMode != EvalFull
+	// and the noiseless/deterministic gate holds); the noise and mixed-
+	// strategy bypasses ignore it, so RNG streams never move and every run
+	// stays bit-identical per seed to the same run with a private cache.
+	// The cache must be bound to the identical game (same spec, payoff,
+	// rounds and memory depth) or New fails.
+	SharedCache *fitness.PairCache
 }
 
 func (c Config) validate() error {
@@ -301,9 +312,20 @@ func New(cfg Config) (*Model, error) {
 	m := &Model{cfg: cfg, engine: engine, graph: graph, nat: nat, table: table, ssets: ssets, src: gameSrc}
 	evalMode := fitness.EffectiveMode(engine, cfg.EvalMode)
 	if evalMode != fitness.EvalFull && fitness.CacheUsable(engine, initial) {
-		cache, err := fitness.NewPairCache(engine)
-		if err != nil {
-			return nil, err
+		var cache *fitness.PairCache
+		if cfg.SharedCache != nil {
+			// A view over the shared store: lookups are served from (and
+			// misses warm) the cross-run table, while this run's counters and
+			// kernel statistics stay attributed to this run's own engine.
+			cache, err = cfg.SharedCache.NewView(engine)
+			if err != nil {
+				return nil, fmt.Errorf("population: SharedCache: %w", err)
+			}
+		} else {
+			cache, err = fitness.NewPairCache(engine)
+			if err != nil {
+				return nil, err
+			}
 		}
 		m.cache = cache
 		// CacheUsable guarantees every entry is encodable, so binding the

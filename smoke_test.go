@@ -38,8 +38,12 @@ var smokeTargets = []struct {
 	{"benchtables", "./cmd/benchtables", []string{"-table", "4"}},
 	{"quickstart", "./examples/quickstart", []string{"-ssets", "12", "-generations", "200"}},
 	{"axelrod_tournament", "./examples/axelrod_tournament", nil},
+	{"evogame-ensemble", "./cmd/evogame", []string{
+		"-replicates", "3", "-ensemble-workers", "2", "-ssets", "12", "-agents", "2",
+		"-rounds", "20", "-generations", "30", "-sample-every", "15", "-noise", "0",
+		"-eval", "cached"}},
 	{"memory_sweep", "./examples/memory_sweep", []string{
-		"-ssets", "9", "-ranks", "3", "-generations", "2"}},
+		"-ssets", "9", "-ranks", "3", "-generations", "2", "-replicates", "2"}},
 	{"scaling_study", "./examples/scaling_study", nil},
 	{"snowdrift", "./examples/snowdrift", []string{
 		"-ssets", "16", "-generations", "400", "-seeds", "2"}},
