@@ -1,0 +1,182 @@
+package evogame
+
+// Golden gates over the committed paper-artifact tree (artifacts/): the
+// quick-grid run envelopes and rendered tables are committed, so the repo
+// itself proves its regenerability claim on every test run.  These tests
+// are the in-process face of the CI `paperkit verify -quick` job.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evogame/internal/artifact"
+)
+
+// artifactsDir is the committed artifact tree at the repository root.
+const artifactsDir = "artifacts"
+
+// TestArtifactRunsAreFresh classifies every committed quick-grid envelope
+// against the registry: any missing or stale run means the registry and
+// the committed tree have drifted apart (a grid was edited without
+// regenerating, or an envelope was not committed).
+func TestArtifactRunsAreFresh(t *testing.T) {
+	plan, err := artifact.Plan(artifactsDir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 {
+		t.Fatal("empty plan: registry has no quick runs")
+	}
+	for _, run := range plan {
+		if run.State != artifact.StateFresh {
+			t.Errorf("%s/%s#r%d is %v (want fresh): %s",
+				run.Artifact, run.Cell, run.Replicate, run.State, run.Path)
+		}
+	}
+}
+
+// TestArtifactTablesMatchCommitted re-renders every quick table from the
+// committed envelopes and fails on any byte difference — the same check
+// `paperkit verify -quick` runs in CI, but in-process so `go test ./...`
+// alone already enforces the golden files.
+func TestArtifactTablesMatchCommitted(t *testing.T) {
+	problems, err := artifact.VerifyTables(artifactsDir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("committed table drift: %s", p)
+	}
+}
+
+// TestArtifactClaimsHoldOnCommittedTree asserts the two registry claims
+// that the committed quick tables encode as shared state hashes: the
+// Figure 3 ablation cells are all bit-identical, and scaling-study cells
+// of one population size are rank-count independent.
+func TestArtifactClaimsHoldOnCommittedTree(t *testing.T) {
+	// Replicates run with different derived seeds, so the equivalence claims
+	// compare the full per-replicate hash vector across cells: two cells are
+	// "bit-identical" when replicate k of one matches replicate k of the
+	// other, for every k.
+	hashVectors := func(t *testing.T, name string) map[string]string {
+		t.Helper()
+		art, err := artifact.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string)
+		for _, cell := range art.Grid(true) {
+			stats, err := artifact.CollectCell(artifactsDir, true, name, cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var vec strings.Builder
+			for _, r := range stats.Runs {
+				vec.WriteString(r.StateHash)
+				vec.WriteByte(' ')
+			}
+			out[cell.Key] = vec.String()
+		}
+		return out
+	}
+
+	t.Run("figure3-ablation-equivalence", func(t *testing.T) {
+		vectors := hashVectors(t, "figure3_ablation")
+		want := vectors["opt=0"]
+		for key, vec := range vectors {
+			if vec != want {
+				t.Errorf("cell %s final states differ from opt=0: optimization levels are not equivalent", key)
+			}
+		}
+	})
+
+	t.Run("scaling-rank-independence", func(t *testing.T) {
+		vectors := hashVectors(t, "scaling_study")
+		bySize := make(map[string]map[string]bool)
+		for key, vec := range vectors {
+			size := strings.SplitN(key, "_", 2)[0] // "s=12_ranks=2" -> "s=12"
+			if bySize[size] == nil {
+				bySize[size] = make(map[string]bool)
+			}
+			bySize[size][vec] = true
+		}
+		for size, set := range bySize {
+			if len(set) != 1 {
+				t.Errorf("population %s: %d distinct final states across rank counts, want 1", size, len(set))
+			}
+		}
+	})
+}
+
+// TestArtifactDeleteOneRegenerates is the acceptance round trip: copy one
+// artifact's committed envelopes aside, delete one, re-run the incremental
+// runner, and require (a) exactly the deleted replicate executed and (b)
+// the regenerated envelope is byte-identical to the committed one.
+func TestArtifactDeleteOneRegenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regeneration run skipped in -short mode")
+	}
+	const name = "memory_sweep"
+	art, err := artifact.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := art.Grid(true)
+
+	// Mirror the committed runs into a scratch artifact root.
+	scratch := t.TempDir()
+	src := artifact.RunDir(artifactsDir, true, name)
+	dst := artifact.RunDir(scratch, true, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("committed runs missing (run `paperkit run -quick`): %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := artifact.EnvelopePath(scratch, true, name, cells[0], 0)
+	committed, err := os.ReadFile(artifact.EnvelopePath(artifactsDir, true, name, cells[0], 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := artifact.Execute(context.Background(), scratch, artifact.ExecuteOptions{
+		Quick: true, Artifacts: []string{name},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	for _, r := range reports {
+		executed += len(r.Executed)
+	}
+	if executed != 1 {
+		t.Fatalf("executed %d runs after deleting one envelope, want exactly 1", executed)
+	}
+
+	regenerated, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(regenerated, committed) {
+		t.Fatalf("regenerated envelope differs from the committed one (%d vs %d bytes)",
+			len(regenerated), len(committed))
+	}
+}

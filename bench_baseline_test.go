@@ -261,3 +261,73 @@ func TestBenchEnsembleBaselineSchemaAndClaims(t *testing.T) {
 		}
 	}
 }
+
+// benchArtifactRow mirrors the row schema of the artifact table
+// (`benchtables -table artifact -json`).
+type benchArtifactRow struct {
+	Phase        string  `json:"phase"`
+	RunsExecuted int     `json:"runs_executed"`
+	RunsSkipped  int     `json:"runs_skipped"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// benchArtifactDoc mirrors the artifact table's envelope.
+type benchArtifactDoc struct {
+	Table                string             `json:"table"`
+	Artifact             string             `json:"artifact"`
+	Grid                 string             `json:"grid"`
+	TotalRuns            int                `json:"total_runs"`
+	GoMaxProcs           int                `json:"go_max_procs"`
+	RegeneratedIdentical bool               `json:"regenerated_identical"`
+	Rows                 []benchArtifactRow `json:"rows"`
+}
+
+// TestBenchArtifactBaselineSchemaAndClaims pins BENCH_8.json, the committed
+// baseline of the artifact table: the paperkit incremental runner
+// regenerating one quick-grid artifact cold, warm and after deleting a
+// single envelope.  The claims are structural, not timing thresholds: the
+// cold phase executes every run, the warm phase executes none, the deletion
+// re-executes exactly one, and the regenerated envelope is byte-identical
+// to the deleted one — the property that makes the committed artifact
+// tables regenerable.
+func TestBenchArtifactBaselineSchemaAndClaims(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_8.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var doc benchArtifactDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_8.json is not valid JSON for the artifact-table schema: %v", err)
+	}
+	if doc.Table != "artifact" || doc.Grid != "quick" || doc.Artifact == "" {
+		t.Fatalf("baseline header = (%q, artifact=%q, grid=%q), want (artifact, <name>, quick)",
+			doc.Table, doc.Artifact, doc.Grid)
+	}
+	if doc.TotalRuns <= 0 || doc.GoMaxProcs <= 0 {
+		t.Fatalf("baseline header has non-positive dimensions: %+v", doc)
+	}
+	if !doc.RegeneratedIdentical {
+		t.Error("baseline records a regenerated envelope that differs from the deleted one")
+	}
+	rows := make(map[string]benchArtifactRow, len(doc.Rows))
+	for _, row := range doc.Rows {
+		if row.Seconds <= 0 || row.RunsExecuted+row.RunsSkipped != doc.TotalRuns {
+			t.Errorf("row %+v has non-positive time or does not cover all %d runs", row, doc.TotalRuns)
+		}
+		rows[row.Phase] = row
+	}
+	for _, phase := range []string{"cold", "warm", "delete_one"} {
+		if _, ok := rows[phase]; !ok {
+			t.Fatalf("baseline is missing the %q phase", phase)
+		}
+	}
+	if cold := rows["cold"]; cold.RunsExecuted != doc.TotalRuns {
+		t.Errorf("cold phase executed %d of %d runs, want all", cold.RunsExecuted, doc.TotalRuns)
+	}
+	if warm := rows["warm"]; warm.RunsExecuted != 0 {
+		t.Errorf("warm phase executed %d runs, want 0 (everything fresh)", warm.RunsExecuted)
+	}
+	if del := rows["delete_one"]; del.RunsExecuted != 1 {
+		t.Errorf("delete_one phase executed %d runs, want exactly the deleted one", del.RunsExecuted)
+	}
+}

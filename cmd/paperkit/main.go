@@ -1,0 +1,217 @@
+// Command paperkit regenerates every paper artifact on demand.
+//
+// The registry in internal/artifact describes each figure-backing
+// experiment of the paper as a deterministic sweep grid; paperkit executes
+// the grids through the ensemble tier with one resumable checkpoint
+// envelope per run, renders Markdown + CSV tables from the envelopes, and
+// verifies the committed tables against regeneration:
+//
+//	paperkit list                 # name every artifact
+//	paperkit describe <artifact>  # print its figure, claim and grid
+//	paperkit status  [-quick]     # classify every run: fresh/missing/stale
+//	paperkit run     [-quick]     # execute only missing/stale runs
+//	paperkit tables  [-quick]     # render tables from the envelopes
+//	paperkit verify  [-quick]     # re-render and diff against committed tables
+//
+// The -quick grids are small and committed to the repository as golden
+// files; CI runs `paperkit verify -quick` on every push, so the committed
+// tables are guaranteed regenerable bit for bit.  The full grids approach
+// the paper's scales and write under the same tree next to them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"evogame/internal/artifact"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = runList()
+	case "describe":
+		err = runDescribe(args)
+	case "status":
+		err = runStatus(args)
+	case "run":
+		err = runRun(args)
+	case "tables":
+		err = runTables(args)
+	case "verify":
+		err = runVerify(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "paperkit: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperkit:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: paperkit <command> [flags]
+
+commands:
+  list       name every registered artifact
+  describe   print one artifact's figure, claim and grid
+  status     classify every run envelope: fresh, missing or stale
+  run        execute only the missing/stale runs of the selected grids
+  tables     render Markdown + CSV tables from the run envelopes
+  verify     re-render the tables and fail on any diff vs the committed ones
+
+common flags (status/run/tables/verify):
+  -quick           use the small committed grids instead of the full ones
+  -dir string      artifact tree root (default "artifacts")
+  -artifact name   restrict to one artifact (repeatable via comma list)
+`)
+}
+
+// gridFlags declares the flags shared by the grid-touching subcommands.
+func gridFlags(fs *flag.FlagSet) (quick *bool, dir *string, arts *string) {
+	quick = fs.Bool("quick", false, "use the small committed grids")
+	dir = fs.String("dir", "artifacts", "artifact tree root")
+	arts = fs.String("artifact", "", "comma-separated artifact names (default all)")
+	return
+}
+
+func splitArtifacts(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runList() error {
+	for _, name := range artifact.Names() {
+		a, err := artifact.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %s (%s)\n", a.Name, a.Title, a.Figure)
+	}
+	return nil
+}
+
+func runDescribe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("describe takes exactly one artifact name")
+	}
+	a, err := artifact.Lookup(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\n%s\n\n%s\n\nClaim: %s\n", a.Name, a.Title, a.Figure, a.Description, a.Claim)
+	for _, grid := range []bool{true, false} {
+		cells := a.Grid(grid)
+		fmt.Printf("\n%s grid (%d cells):\n", artifact.GridName(grid), len(cells))
+		for _, c := range cells {
+			engine := "parallel"
+			if c.Serial != nil {
+				engine = "serial"
+			}
+			fmt.Printf("  %-24s %s, %d generations, %d replicates\n", c.Key, engine, c.Generations, c.Replicates)
+		}
+	}
+	return nil
+}
+
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	quick, dir, arts := gridFlags(fs)
+	fs.Parse(args)
+	plan, err := artifact.Plan(*dir, *quick, splitArtifacts(*arts))
+	if err != nil {
+		return err
+	}
+	counts := map[artifact.RunState]int{}
+	for _, r := range plan {
+		counts[r.State]++
+		if r.State != artifact.StateFresh {
+			fmt.Printf("%-8s %s/%s#r%d\n", r.State, r.Artifact, r.Cell, r.Replicate)
+		}
+	}
+	fmt.Printf("%d runs: %d fresh, %d missing, %d stale\n",
+		len(plan), counts[artifact.StateFresh], counts[artifact.StateMissing], counts[artifact.StateStale])
+	return nil
+}
+
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick, dir, arts := gridFlags(fs)
+	force := fs.Bool("force", false, "re-run fresh envelopes too")
+	workers := fs.Int("workers", 0, "concurrent replicates per cell (0 = default)")
+	fs.Parse(args)
+	reports, err := artifact.Execute(context.Background(), *dir, artifact.ExecuteOptions{
+		Quick:           *quick,
+		Artifacts:       splitArtifacts(*arts),
+		Force:           *force,
+		EnsembleWorkers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	executed, skipped := 0, 0
+	for _, r := range reports {
+		executed += len(r.Executed)
+		skipped += len(r.Skipped)
+		if len(r.Executed) > 0 {
+			fmt.Printf("ran      %s/%s: %d of %d replicates\n",
+				r.Artifact, r.Cell, len(r.Executed), len(r.Executed)+len(r.Skipped))
+		}
+	}
+	fmt.Printf("%d runs executed, %d already fresh\n", executed, skipped)
+	return nil
+}
+
+func runTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	quick, dir, arts := gridFlags(fs)
+	fs.Parse(args)
+	paths, err := artifact.WriteTables(*dir, *quick, splitArtifacts(*arts))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Printf("wrote %s\n", artifact.TableDir(*dir, *quick)+"/"+p)
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	quick, dir, arts := gridFlags(fs)
+	fs.Parse(args)
+	problems, err := artifact.VerifyTables(*dir, *quick, splitArtifacts(*arts))
+	if err != nil {
+		return err
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		return fmt.Errorf("%d table(s) do not match regeneration", len(problems))
+	}
+	fmt.Printf("all %s-grid tables match regeneration\n", artifact.GridName(*quick))
+	return nil
+}

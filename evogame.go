@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 
+	"evogame/internal/artifact"
 	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
 	"evogame/internal/fitness"
@@ -895,4 +896,49 @@ func ClusterStrategies(strategies []string, k int, seed uint64) ([]ClusterSummar
 		}
 	}
 	return summaries, nil
+}
+
+// ArtifactInfo describes one regenerable paper artifact of the registry
+// behind cmd/paperkit: a named sweep whose committed tables CI keeps
+// bit-identical to regeneration.
+type ArtifactInfo struct {
+	// Name is the registry key (pass it to paperkit's -artifact flag).
+	Name string
+	// Title is a short human description of the sweep.
+	Title string
+	// Figure names the paper figure the artifact backs.
+	Figure string
+	// Description explains the sweep axis and what the table shows.
+	Description string
+	// Claim is the determinism statement the rendered table pins.
+	Claim string
+	// QuickCells and FullCells count the grid points of the committed
+	// quick grid and the paper-scale full grid.
+	QuickCells int
+	// FullCells counts the full grid's cells (see QuickCells).
+	FullCells int
+}
+
+// Artifacts lists the registered paper artifacts in rendering order; these
+// are the sweeps `paperkit run` regenerates and `paperkit verify` pins.
+func Artifacts() []string {
+	return artifact.Names()
+}
+
+// DescribeArtifact returns the registry entry of one paper artifact by
+// name; Artifacts lists the valid names.
+func DescribeArtifact(name string) (ArtifactInfo, error) {
+	a, err := artifact.Lookup(name)
+	if err != nil {
+		return ArtifactInfo{}, err
+	}
+	return ArtifactInfo{
+		Name:        a.Name,
+		Title:       a.Title,
+		Figure:      a.Figure,
+		Description: a.Description,
+		Claim:       a.Claim,
+		QuickCells:  len(a.Grid(true)),
+		FullCells:   len(a.Grid(false)),
+	}, nil
 }

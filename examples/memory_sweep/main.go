@@ -1,112 +1,91 @@
-// Memory sweep: the Figure 5 workload.  The same population is simulated
-// with memory-one through memory-six strategies on the distributed engine —
-// -replicates independent replicates per depth through the ensemble tier,
-// the way the paper averages its figures — and the per-rank compute and
-// communication times are reported as mean ± std over replicates, showing
-// how the cost of identifying the game state grows with memory depth while
-// communication stays flat.  The Blue Gene/P prediction for the paper's
-// full-size workload is printed alongside.
+// Memory sweep: the Figure 5 workload.  The grid comes from the paperkit
+// artifact registry (internal/artifact), so this example times exactly the
+// runs whose deterministic outcomes are pinned under artifacts/tables/ —
+// each memory depth is an ensemble of replicates on the distributed engine,
+// and the per-rank compute and communication times are reported as
+// mean ± std over replicates, showing how the cost of identifying the game
+// state grows with memory depth while communication stays flat.  The Blue
+// Gene/P prediction for the paper's full-size workload is printed alongside.
 //
-//	go run ./examples/memory_sweep
-//	go run ./examples/memory_sweep -replicates 5
+//	go run ./examples/memory_sweep          # the full registry grid
+//	go run ./examples/memory_sweep -quick   # the small committed grid
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 
 	"evogame"
+	"evogame/internal/artifact"
+	"evogame/internal/ensemble"
+	"evogame/internal/stats"
 )
 
-// meanStd returns the sample mean and standard deviation of xs.
-func meanStd(xs []float64) (mean, std float64) {
-	n := float64(len(xs))
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= n
-	if len(xs) < 2 {
-		return mean, 0
-	}
-	var ss float64
-	for _, x := range xs {
-		ss += (x - mean) * (x - mean)
-	}
-	return mean, math.Sqrt(ss / (n - 1))
-}
-
-// sweepDepth runs one memory depth as an ensemble of replicates and reports
-// the per-replicate compute/comm/wallclock means and standard deviations.
-func sweepDepth(mem, ssets, ranks, generations, replicates, optLevel int) (computeM, computeS, commM, commS, wallM, wallS float64, games int64, err error) {
-	res, err := evogame.RunEnsemble(context.Background(), evogame.EnsembleConfig{
-		Replicates: replicates,
-		Parallel: &evogame.ParallelConfig{
-			Ranks:             ranks,
-			NumSSets:          ssets,
-			AgentsPerSSet:     4,
-			MemorySteps:       mem,
-			Rounds:            evogame.DefaultRounds,
-			PCRate:            0.1,
-			MutationRate:      0.05,
-			Generations:       generations,
-			Seed:              2013,
-			OptimizationLevel: optLevel,
-		},
-	})
+// timeCell runs one registry cell as an ensemble and reports the
+// per-replicate compute/comm/wallclock aggregates and the total game count.
+func timeCell(cell artifact.Cell) (compute, comm, wall stats.Welford, games int64, err error) {
+	res, err := ensemble.RunParallel(*cell.Parallel, ensemble.Config{Replicates: cell.Replicates})
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, 0, err
+		return compute, comm, wall, 0, err
 	}
-	var compute, comm, wall []float64
-	for _, r := range res.Parallel {
-		compute = append(compute, r.ComputeSeconds)
-		comm = append(comm, r.CommSeconds)
-		wall = append(wall, r.WallClockSeconds)
+	for _, r := range res.Runs {
+		compute.Add(r.ComputeTime().Seconds())
+		comm.Add(r.CommTime().Seconds())
+		wall.Add(r.WallClock.Seconds())
 		games += r.TotalGames
 	}
-	computeM, computeS = meanStd(compute)
-	commM, commS = meanStd(comm)
-	wallM, wallS = meanStd(wall)
-	return computeM, computeS, commM, commS, wallM, wallS, games, nil
+	return compute, comm, wall, games, nil
 }
 
 func main() {
-	ssets := flag.Int("ssets", 48, "number of Strategy Sets")
-	ranks := flag.Int("ranks", 5, "total ranks (Nature + SSet ranks)")
-	generations := flag.Int("generations", 10, "generations per memory depth")
-	replicates := flag.Int("replicates", 3, "independent replicates per memory depth (ensemble tier)")
+	quick := flag.Bool("quick", false, "time the small committed grid instead of the full one")
 	flag.Parse()
 
-	fmt.Printf("distributed runs: %d SSets, %d ranks, %d generations, %d replicates, 200 rounds/game\n\n",
-		*ssets, *ranks, *generations, *replicates)
-	fmt.Println("memory    compute(s)        comm(s)           wallclock(s)      games")
-	for mem := 1; mem <= evogame.MaxMemorySteps; mem++ {
-		cm, cs, mm, ms, wm, ws, games, err := sweepDepth(mem, *ssets, *ranks, *generations, *replicates, 3)
+	sweep, err := artifact.Lookup("memory_sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells := sweep.Grid(*quick)
+	first := cells[0].Parallel
+	fmt.Printf("registry artifact %q, %s grid: %d SSets, %d ranks, %d generations, %d replicates, %d rounds/game\n\n",
+		sweep.Name, artifact.GridName(*quick), first.NumSSets, first.Ranks,
+		cells[0].Generations, cells[0].Replicates, first.Rounds)
+	fmt.Println("cell      compute(s)        comm(s)           wallclock(s)      games")
+	for _, cell := range cells {
+		compute, comm, wall, games, err := timeCell(cell)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%6d   %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f   %d\n",
-			mem, cm, cs, mm, ms, wm, ws, games)
+		fmt.Printf("%-7s  %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f   %d\n",
+			cell.Key, compute.Mean(), compute.StdDev(), comm.Mean(), comm.StdDev(),
+			wall.Mean(), wall.StdDev(), games)
 	}
 
 	// The paper attributes the growth in runtime with memory depth to
 	// identifying the current game state.  The optimized kernel above uses
 	// an O(1) rolling state code, which flattens that growth; replaying the
 	// sweep with the paper's original linear state search (optimization
-	// level 1) makes the effect visible.  Memory five and six are skipped —
-	// the 4,096-row search makes them impractically slow, which is itself
-	// the paper's point.
-	fmt.Println("\nsame sweep with the original linear state search (optimization level 1), memory 1..4:")
-	fmt.Println("memory    compute(s)        comm(s)           wallclock(s)")
-	for mem := 1; mem <= 4; mem++ {
-		cm, cs, mm, ms, wm, ws, _, err := sweepDepth(mem, *ssets, *ranks, *generations, *replicates, 1)
+	// level 1) makes the effect visible.  Depths past four are skipped — the
+	// 4,096-row search makes them impractically slow, which is itself the
+	// paper's point.
+	fmt.Println("\nsame grid with the original linear state search (optimization level 1), memory 1..4:")
+	fmt.Println("cell      compute(s)        comm(s)           wallclock(s)")
+	for _, cell := range cells {
+		if cell.Parallel.MemorySteps > 4 {
+			continue
+		}
+		downgraded := cell
+		cfg := *cell.Parallel
+		cfg.OptLevel = 1
+		downgraded.Parallel = &cfg
+		compute, comm, wall, _, err := timeCell(downgraded)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%6d   %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f\n",
-			mem, cm, cs, mm, ms, wm, ws)
+		fmt.Printf("%-7s  %7.3f ±%6.3f   %6.4f ±%6.4f   %7.3f ±%6.3f\n",
+			cell.Key, compute.Mean(), compute.StdDev(), comm.Mean(), comm.StdDev(),
+			wall.Mean(), wall.StdDev())
 	}
 
 	fmt.Println("\nBlue Gene/P model for the paper's workload (2,048 SSets, 20 generations, 2,048 processors):")

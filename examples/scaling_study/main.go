@@ -1,13 +1,12 @@
 // Scaling study: reproduces the shape of the paper's Figure 6 and Table VI.
-// Real strong and weak scaling are measured with goroutine ranks on the
-// local host, and the analytic performance model extrapolates the same
-// algorithm to Blue Gene/P (294,912 cores) and Blue Gene/Q (16,384 tasks).
-// Each point here is a single timed run; to average scaling points over
-// replicates the way the paper's figures do, run them through the ensemble
-// tier (evogame.RunEnsemble, or `evogame -replicates N`) as
-// examples/memory_sweep now does.
+// The real strong-scaling grid comes from the paperkit artifact registry
+// (internal/artifact), so this example times exactly the runs whose
+// rank-count independence is pinned under artifacts/tables/; the analytic
+// performance model then extrapolates the same algorithm to Blue Gene/P
+// (294,912 cores) and Blue Gene/Q (16,384 tasks).
 //
 //	go run ./examples/scaling_study
+//	go run ./examples/scaling_study -quick       # time the committed grid
 //	go run ./examples/scaling_study -calibrate   # measure the game kernel first
 package main
 
@@ -17,32 +16,45 @@ import (
 	"log"
 
 	"evogame"
+	"evogame/internal/artifact"
+	"evogame/internal/ensemble"
+	"evogame/internal/stats"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "time the small committed grid instead of the full one")
 	calibrate := flag.Bool("calibrate", false, "measure the real game-kernel cost before modelling")
 	flag.Parse()
 	opts := evogame.ScalingOptions{CalibrateKernel: *calibrate}
 
-	// Real strong scaling on this host: a fixed 64-SSet population spread
-	// over an increasing number of goroutine ranks.
-	fmt.Println("== real strong scaling (64 SSets, memory-one, 10 generations, goroutine ranks) ==")
-	fmt.Println("ranks   wallclock(s)   efficiency(%)")
-	var base float64
-	for i, ranks := range []int{1, 2, 4, 8} {
-		res, err := evogame.SimulateParallel(evogame.ParallelConfig{
-			Ranks: ranks + 1, NumSSets: 64, AgentsPerSSet: 4, MemorySteps: 1,
-			Rounds: evogame.DefaultRounds, PCRate: 0.1, MutationRate: 0.05,
-			Generations: 10, Seed: 7, OptimizationLevel: 3,
-		})
+	// Real strong scaling on this host: the registry grid runs each
+	// population size at several rank counts; efficiency is relative to the
+	// smallest rank count of the same population size.
+	study, err := artifact.Lookup("scaling_study")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells := study.Grid(*quick)
+	fmt.Printf("== real strong scaling (registry artifact %q, %s grid, goroutine ranks) ==\n",
+		study.Name, artifact.GridName(*quick))
+	fmt.Println("cell             ranks   wallclock(s)   efficiency(%)")
+	base := map[int]float64{} // population size -> base ranks×seconds
+	for _, cell := range cells {
+		res, err := ensemble.RunParallel(*cell.Parallel, ensemble.Config{Replicates: cell.Replicates})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if i == 0 {
-			base = res.WallClockSeconds
+		var wall stats.Welford
+		for _, r := range res.Runs {
+			wall.Add(r.WallClock.Seconds())
 		}
-		eff := 100 * base / (res.WallClockSeconds * float64(ranks))
-		fmt.Printf("%5d   %12.3f   %12.1f\n", ranks, res.WallClockSeconds, eff)
+		ssetRanks := cell.Parallel.Ranks - 1 // rank 0 is the Nature Agent
+		work := wall.Mean() * float64(ssetRanks)
+		if _, ok := base[cell.Parallel.NumSSets]; !ok {
+			base[cell.Parallel.NumSSets] = work
+		}
+		eff := 100 * base[cell.Parallel.NumSSets] / work
+		fmt.Printf("%-15s  %5d   %12.3f   %12.1f\n", cell.Key, ssetRanks, wall.Mean(), eff)
 	}
 
 	// Model: the paper's strong scaling run (Figure 6b).

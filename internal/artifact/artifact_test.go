@@ -1,0 +1,286 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evogame/internal/checkpoint"
+	"evogame/internal/population"
+)
+
+// testArtifact returns a tiny single-cell serial artifact for runner tests.
+func testArtifact(gens int) Artifact {
+	return Artifact{
+		Name:   "unit_test",
+		Title:  "unit-test artifact",
+		Figure: "none",
+		Grid: func(bool) []Cell {
+			return []Cell{{
+				Key:         "only",
+				Replicates:  2,
+				Generations: gens,
+				Serial: &population.Config{
+					NumSSets: 6, AgentsPerSSet: 2,
+					MemorySteps: 1, Rounds: 16,
+					PCRate: 0.5, MutationRate: 0.1,
+					Seed: baseSeed,
+				},
+			}}
+		},
+	}
+}
+
+// withTestRegistry swaps the registry for the test's own artifacts.
+func withTestRegistry(t *testing.T, arts ...Artifact) {
+	t.Helper()
+	saved := registry
+	registry = arts
+	t.Cleanup(func() { registry = saved })
+}
+
+func TestRegistryGridsAreWellFormed(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range registry {
+		if names[a.Name] {
+			t.Errorf("duplicate artifact name %q", a.Name)
+		}
+		names[a.Name] = true
+		for _, quick := range []bool{true, false} {
+			keys := map[string]bool{}
+			for _, cell := range a.Grid(quick) {
+				if keys[cell.Key] {
+					t.Errorf("%s: duplicate cell key %q", a.Name, cell.Key)
+				}
+				keys[cell.Key] = true
+				if cell.Replicates < 1 || cell.Generations < 1 {
+					t.Errorf("%s/%s: bad replicates/generations %d/%d",
+						a.Name, cell.Key, cell.Replicates, cell.Generations)
+				}
+				if (cell.Serial == nil) == (cell.Parallel == nil) {
+					t.Errorf("%s/%s: exactly one engine config must be set", a.Name, cell.Key)
+				}
+				if strings.ContainsAny(cell.Key, "/\\ ") {
+					t.Errorf("%s/%s: key is not filename-safe", a.Name, cell.Key)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"memory_sweep", "scaling_study", "wsls_emergence", "figure3_ablation"} {
+		if _, err := Lookup(want); err != nil {
+			t.Errorf("Lookup(%q): %v", want, err)
+		}
+	}
+	if _, err := Lookup("no_such_artifact"); err == nil {
+		t.Error("Lookup of unknown artifact succeeded")
+	}
+}
+
+func TestExecuteIsIncrementalAndDeterministic(t *testing.T) {
+	withTestRegistry(t, testArtifact(4))
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	reports, err := Execute(ctx, dir, ExecuteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reports[0].Executed); got != 2 {
+		t.Fatalf("first Execute ran %d replicates, want 2", got)
+	}
+
+	cell := registry[0].Grid(true)[0]
+	path0 := EnvelopePath(dir, true, "unit_test", cell, 0)
+	path1 := EnvelopePath(dir, true, "unit_test", cell, 1)
+	want0, err := os.ReadFile(path0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Execute must be a no-op.
+	reports, err = Execute(ctx, dir, ExecuteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports[0].Executed) != 0 || len(reports[0].Skipped) != 2 {
+		t.Fatalf("second Execute = %+v, want all skipped", reports[0])
+	}
+
+	// Deleting one envelope re-runs exactly that replicate and regenerates
+	// identical bytes; the surviving envelope is untouched.
+	want1, err := os.ReadFile(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path0); err != nil {
+		t.Fatal(err)
+	}
+	reports, err = Execute(ctx, dir, ExecuteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports[0].Executed) != 1 || reports[0].Executed[0] != 0 {
+		t.Fatalf("after delete Execute = %+v, want replicate 0 only", reports[0])
+	}
+	got0, err := os.ReadFile(path0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got0, want0) {
+		t.Error("regenerated envelope differs from the original bytes")
+	}
+	got1, err := os.ReadFile(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, want1) {
+		t.Error("untouched envelope changed during partial re-run")
+	}
+}
+
+func TestStalenessDetection(t *testing.T) {
+	withTestRegistry(t, testArtifact(4))
+	dir := t.TempDir()
+	if _, err := Execute(context.Background(), dir, ExecuteOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plan {
+		if r.State != StateFresh {
+			t.Fatalf("%s#r%d = %s after Execute, want fresh", r.Cell, r.Replicate, r.State)
+		}
+	}
+
+	// A grid change (different generation count ⇒ different fingerprint)
+	// makes every envelope stale.
+	withTestRegistry(t, testArtifact(5))
+	plan, err = Plan(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plan {
+		if r.State != StateStale {
+			t.Errorf("%s#r%d = %s after grid change, want stale", r.Cell, r.Replicate, r.State)
+		}
+	}
+
+	// Corrupt envelope bytes are stale, not fatal.
+	withTestRegistry(t, testArtifact(4))
+	cell := registry[0].Grid(true)[0]
+	path := EnvelopePath(dir, true, "unit_test", cell, 0)
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = Plan(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan[0].State != StateStale {
+		t.Errorf("corrupt envelope = %s, want stale", plan[0].State)
+	}
+	if plan[1].State != StateFresh {
+		t.Errorf("sibling envelope = %s, want fresh", plan[1].State)
+	}
+}
+
+func TestTablesRoundTripAndVerify(t *testing.T) {
+	withTestRegistry(t, testArtifact(4))
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := Execute(ctx, dir, ExecuteOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify before tables exist: every file is reported missing.
+	problems, err := VerifyTables(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 { // unit_test.md, unit_test.csv, README.md
+		t.Fatalf("verify before render: %d problems %v, want 3 missing", len(problems), problems)
+	}
+
+	if _, err := WriteTables(dir, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = VerifyTables(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("verify after render: %v, want clean", problems)
+	}
+
+	// Tampering with a committed table is detected.
+	path := filepath.Join(TableDir(dir, true), "unit_test.md")
+	if err := os.WriteFile(path, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = VerifyTables(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "unit_test.md") {
+		t.Fatalf("verify after tamper: %v, want one diff on unit_test.md", problems)
+	}
+
+	// Rendering twice produces identical bytes (no map-order leakage).
+	a, err := RenderTables(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderTables(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel := range a {
+		if !bytes.Equal(a[rel], b[rel]) {
+			t.Errorf("%s: consecutive renders differ", rel)
+		}
+	}
+}
+
+func TestCollectRejectsMissingEnvelope(t *testing.T) {
+	withTestRegistry(t, testArtifact(4))
+	cell := registry[0].Grid(true)[0]
+	if _, err := CollectCell(t.TempDir(), true, "unit_test", cell); err == nil {
+		t.Fatal("CollectCell succeeded with no envelopes on disk")
+	}
+}
+
+func TestLabelCarriesFingerprint(t *testing.T) {
+	a := testArtifact(4)
+	cell := a.Grid(true)[0]
+	l0 := Label(a.Name, cell, 0)
+	if !strings.HasPrefix(l0, "paperkit:unit_test/only#r0 fp=") {
+		t.Fatalf("label = %q", l0)
+	}
+	cell.Generations++
+	if Label(a.Name, cell, 0) == l0 {
+		t.Error("fingerprint did not change with the generation count")
+	}
+}
+
+// TestEnvelopeLabelMatchesRunner pins the envelope's recorded label against
+// the runner's expectation, the contract the staleness check rests on.
+func TestEnvelopeLabelMatchesRunner(t *testing.T) {
+	withTestRegistry(t, testArtifact(3))
+	dir := t.TempDir()
+	if _, err := Execute(context.Background(), dir, ExecuteOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	cell := registry[0].Grid(true)[0]
+	snap, err := checkpoint.Load(EnvelopePath(dir, true, "unit_test", cell, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Label("unit_test", cell, 1); snap.Label != want {
+		t.Errorf("envelope label = %q, want %q", snap.Label, want)
+	}
+}

@@ -1,0 +1,148 @@
+package artifact
+
+// The collector derives per-replicate statistics from the checkpoint
+// envelopes the runner writes, then aggregates them per cell.  Every number
+// it produces is a deterministic function of the envelope — the final
+// strategy table and the Nature Agent's event counters — so rendering from
+// re-generated envelopes reproduces the committed tables byte for byte.
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"evogame/internal/checkpoint"
+	"evogame/internal/stats"
+	"evogame/internal/strategy"
+)
+
+// RunStats is the deterministic face of one (cell, replicate) run, read
+// from its checkpoint envelope.
+type RunStats struct {
+	Replicate int
+	Seed      uint64
+	// Cooperation is the mean per-state cooperation probability of the
+	// final strategy table (1 means every strategy cooperates in every
+	// state).
+	Cooperation float64
+	// WSLSFraction is the fraction of SSets whose final strategy is
+	// exactly Win-Stay Lose-Shift at the run's memory depth.
+	WSLSFraction float64
+	// Distinct is the number of distinct strategies in the final table.
+	Distinct int
+	// PCEvents, Adoptions and Mutations are the Nature Agent's cumulative
+	// event counters over the whole run.
+	PCEvents  int
+	Adoptions int
+	Mutations int
+	// GamesPlayed is the serial engine's cumulative game count; the
+	// distributed engine does not aggregate it into checkpoints, so
+	// parallel runs report 0 and the renderer omits the column.
+	GamesPlayed int64
+	// StateHash is an fnv-1a hash of the canonical encoding of the final
+	// strategy table; runs that end in the identical population state share
+	// it.
+	StateHash string
+}
+
+// CellStats aggregates every replicate of one cell.
+type CellStats struct {
+	Key  string
+	Runs []RunStats
+	// Cooperation and WSLSFraction aggregate the per-replicate values.
+	Cooperation  stats.Welford
+	WSLSFraction stats.Welford
+	// SharedHash is the replicates' common StateHash, or "" when the
+	// replicates diverge (they should: each runs a different seed).
+	SharedHash string
+}
+
+// CollectCell reads every replicate envelope of one cell from the artifact
+// tree rooted at dir.  A missing or stale envelope is an error: callers run
+// Execute first (verify deliberately does not, so it fails loudly when the
+// committed envelopes and grids drift apart).
+func CollectCell(dir string, quick bool, artifactName string, cell Cell) (CellStats, error) {
+	cs := CellStats{Key: cell.Key}
+	for k := 0; k < cell.Replicates; k++ {
+		path := EnvelopePath(dir, quick, artifactName, cell, k)
+		if st := classify(path, Label(artifactName, cell, k), cell, k); st != StateFresh {
+			return cs, fmt.Errorf("artifact: %s/%s replicate %d is %s (run `paperkit run` first): %s",
+				artifactName, cell.Key, k, st, path)
+		}
+		snap, err := checkpoint.Load(path)
+		if err != nil {
+			return cs, fmt.Errorf("artifact: %s/%s replicate %d: %w", artifactName, cell.Key, k, err)
+		}
+		rs, err := snapshotStats(snap, k)
+		if err != nil {
+			return cs, fmt.Errorf("artifact: %s/%s replicate %d: %w", artifactName, cell.Key, k, err)
+		}
+		cs.Runs = append(cs.Runs, rs)
+		cs.Cooperation.Add(rs.Cooperation)
+		cs.WSLSFraction.Add(rs.WSLSFraction)
+	}
+	cs.SharedHash = sharedHash(cs.Runs)
+	return cs, nil
+}
+
+// snapshotStats derives one replicate's statistics from its envelope.
+func snapshotStats(snap checkpoint.Snapshot, replicate int) (RunStats, error) {
+	rs := RunStats{
+		Replicate:   replicate,
+		Seed:        snap.Seed,
+		PCEvents:    snap.PCEvents,
+		Adoptions:   snap.Adoptions,
+		Mutations:   snap.Mutations,
+		GamesPlayed: snap.GamesPlayed,
+	}
+	if len(snap.Strategies) == 0 {
+		return rs, fmt.Errorf("envelope has an empty strategy table")
+	}
+	wsls := strategy.WSLS(snap.MemorySteps)
+	h := fnv.New64a()
+	var coop float64
+	wslsCount, distinct := 0, 0
+	for i, s := range snap.Strategies {
+		p, ok := s.(*strategy.Pure)
+		if !ok {
+			return rs, fmt.Errorf("strategy %d is %T, want *strategy.Pure", i, s)
+		}
+		coop += 1 - float64(p.DefectionCount())/float64(p.NumStates())
+		if p.Equal(wsls) {
+			wslsCount++
+		}
+		novel := true
+		for _, prev := range snap.Strategies[:i] {
+			if p.Equal(prev) {
+				novel = false
+				break
+			}
+		}
+		if novel {
+			distinct++
+		}
+		enc, err := strategy.Encode(p)
+		if err != nil {
+			return rs, fmt.Errorf("strategy %d: %w", i, err)
+		}
+		h.Write(enc)
+	}
+	n := float64(len(snap.Strategies))
+	rs.Cooperation = coop / n
+	rs.WSLSFraction = float64(wslsCount) / n
+	rs.Distinct = distinct
+	rs.StateHash = fmt.Sprintf("%016x", h.Sum64())
+	return rs, nil
+}
+
+// sharedHash returns the runs' common StateHash, or "" when any differ.
+func sharedHash(runs []RunStats) string {
+	if len(runs) == 0 {
+		return ""
+	}
+	for _, r := range runs[1:] {
+		if r.StateHash != runs[0].StateHash {
+			return ""
+		}
+	}
+	return runs[0].StateHash
+}

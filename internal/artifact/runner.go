@@ -1,0 +1,285 @@
+package artifact
+
+// The runner executes artifact grids incrementally: every (cell, replicate)
+// run owns one checkpoint envelope under <dir>/runs/<grid>/<artifact>/, and
+// a run is executed only when its envelope is missing or stale.  Staleness
+// is decided by the envelope's free-form label, which records a fingerprint
+// of the full run configuration (engine, population shape, rates, kernel,
+// optimization level, generations, seed) — so editing a grid invalidates
+// exactly the runs it changes — plus the recorded generation count and
+// table shape as a sanity net.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"evogame/internal/checkpoint"
+	"evogame/internal/ensemble"
+	"evogame/internal/game"
+)
+
+// GridName maps the quick flag onto the on-disk grid directory name.
+func GridName(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// RunDir returns the directory holding the artifact's envelopes inside the
+// artifact tree rooted at dir.
+func RunDir(dir string, quick bool, artifactName string) string {
+	return filepath.Join(dir, "runs", GridName(quick), artifactName)
+}
+
+// EnvelopePath returns the checkpoint path of one (cell, replicate) run.
+func EnvelopePath(dir string, quick bool, artifactName string, cell Cell, replicate int) string {
+	return filepath.Join(RunDir(dir, quick, artifactName), fmt.Sprintf("%s__r%d.ckpt", cell.Key, replicate))
+}
+
+// fingerprint hashes every dynamics-relevant field of the cell's engine
+// configuration (worker counts are deliberately excluded: results are
+// worker-independent and defaults vary by machine).
+func fingerprint(cell Cell) string {
+	var s string
+	switch {
+	case cell.Serial != nil:
+		c := cell.Serial
+		s = fmt.Sprintf("serial|ssets=%d|agents=%d|mem=%d|rounds=%d|noise=%g|pc=%g|mut=%g|beta=%g|seed=%d|eval=%s|kernel=%s|game=%s|payoff=%v|topo=%s|gens=%d",
+			c.NumSSets, c.AgentsPerSSet, c.MemorySteps, c.Rounds, c.Noise,
+			c.PCRate, c.MutationRate, c.Beta, c.Seed, c.EvalMode, c.Kernel,
+			gameName(c.Game), c.Game.Payoff.Table(), c.Topology.String(), cell.Generations)
+	case cell.Parallel != nil:
+		c := cell.Parallel
+		s = fmt.Sprintf("parallel|ranks=%d|ssets=%d|agents=%d|mem=%d|rounds=%d|noise=%g|pc=%g|mut=%g|beta=%g|seed=%d|eval=%s|kernel=%s|opt=%d|skipidle=%v|game=%s|payoff=%v|topo=%s|gens=%d",
+			c.Ranks, c.NumSSets, c.AgentsPerSSet, c.MemorySteps, c.Rounds, c.Noise,
+			c.PCRate, c.MutationRate, c.Beta, c.Seed, c.EvalMode, c.Kernel,
+			int(c.OptLevel), c.SkipFitnessWhenIdle,
+			gameName(c.Game), c.Game.Payoff.Table(), c.Topology.String(), cell.Generations)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// gameName names the scenario, mapping the zero-value Spec onto the
+// paper's default IPD.
+func gameName(spec game.Spec) string {
+	if spec.Name == "" {
+		return "ipd"
+	}
+	return spec.Name
+}
+
+// Label returns the envelope label of one (cell, replicate) run: it names
+// the run and carries the configuration fingerprint the staleness check
+// verifies.
+func Label(artifactName string, cell Cell, replicate int) string {
+	return fmt.Sprintf("paperkit:%s/%s#r%d fp=%s", artifactName, cell.Key, replicate, fingerprint(cell))
+}
+
+// RunState classifies one (cell, replicate) run's on-disk envelope.
+type RunState string
+
+// The three envelope states Plan reports.
+const (
+	// StateFresh means the envelope exists and matches the grid.
+	StateFresh RunState = "fresh"
+	// StateMissing means no envelope exists at the run's path.
+	StateMissing RunState = "missing"
+	// StateStale means an envelope exists but was produced by a different
+	// configuration (or is unreadable) and will be re-run.
+	StateStale RunState = "stale"
+)
+
+// RunStatus describes one (cell, replicate) run of a plan.
+type RunStatus struct {
+	Artifact  string
+	Cell      string
+	Replicate int
+	Seed      uint64
+	Path      string
+	State     RunState
+}
+
+// classify decides the run's state from its on-disk envelope.
+func classify(path, wantLabel string, cell Cell, replicate int) RunState {
+	snap, err := checkpoint.Load(path)
+	if os.IsNotExist(underlying(err)) {
+		return StateMissing
+	}
+	if err != nil {
+		return StateStale
+	}
+	if snap.Label != wantLabel {
+		return StateStale
+	}
+	if snap.Generation != cell.Generations {
+		return StateStale
+	}
+	ssets := 0
+	if cell.Serial != nil {
+		ssets = cell.Serial.NumSSets
+	} else if cell.Parallel != nil {
+		ssets = cell.Parallel.NumSSets
+	}
+	if len(snap.Strategies) != ssets {
+		return StateStale
+	}
+	if snap.Seed != ensemble.ReplicateSeed(baseSeed, replicate) {
+		return StateStale
+	}
+	return StateFresh
+}
+
+// underlying unwraps the %w chain to the first os error, if any.
+func underlying(err error) error {
+	for err != nil {
+		if os.IsNotExist(err) {
+			return err
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+	return err
+}
+
+// Plan reports the state of every run of the named artifacts (all when
+// names is empty) against the artifact tree rooted at dir.
+func Plan(dir string, quick bool, names []string) ([]RunStatus, error) {
+	arts, err := resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	var out []RunStatus
+	for _, a := range arts {
+		for _, cell := range a.Grid(quick) {
+			for k := 0; k < cell.Replicates; k++ {
+				path := EnvelopePath(dir, quick, a.Name, cell, k)
+				out = append(out, RunStatus{
+					Artifact:  a.Name,
+					Cell:      cell.Key,
+					Replicate: k,
+					Seed:      ensemble.ReplicateSeed(baseSeed, k),
+					Path:      path,
+					State:     classify(path, Label(a.Name, cell, k), cell, k),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// resolve maps artifact names onto registry entries; empty means all.
+func resolve(names []string) ([]Artifact, error) {
+	if len(names) == 0 {
+		return registry, nil
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var out []Artifact
+	for _, a := range registry {
+		for _, n := range sorted {
+			if a.Name == n {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	if len(out) != len(sorted) {
+		for _, n := range sorted {
+			if _, err := Lookup(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// CellReport summarises one cell's execution.
+type CellReport struct {
+	Artifact string
+	Cell     string
+	// Executed and Skipped are the replicate indices that ran / were fresh.
+	Executed []int
+	Skipped  []int
+}
+
+// ExecuteOptions configures Execute.
+type ExecuteOptions struct {
+	// Quick selects the quick grid (the committed golden one).
+	Quick bool
+	// Artifacts names the artifacts to run; empty runs all of them.
+	Artifacts []string
+	// Force re-runs every run regardless of envelope freshness.
+	Force bool
+	// EnsembleWorkers bounds concurrent replicates per cell (0 = the
+	// ensemble tier's default).
+	EnsembleWorkers int
+}
+
+// Execute brings the artifact tree rooted at dir up to date: for every cell
+// of the selected grids it runs exactly the replicates whose envelopes are
+// missing or stale (all of them under opts.Force), through the ensemble
+// tier with one checkpoint envelope per replicate.  Fresh runs are never
+// re-executed, which is what makes regeneration incremental; because every
+// run is a pure function of its derived seed, the envelopes produced by a
+// partial re-run are identical to the ones a full run would write.
+func Execute(ctx context.Context, dir string, opts ExecuteOptions) ([]CellReport, error) {
+	arts, err := resolve(opts.Artifacts)
+	if err != nil {
+		return nil, err
+	}
+	var reports []CellReport
+	for _, a := range arts {
+		for _, cell := range a.Grid(opts.Quick) {
+			report := CellReport{Artifact: a.Name, Cell: cell.Key}
+			fresh := make(map[int]bool, cell.Replicates)
+			for k := 0; k < cell.Replicates; k++ {
+				path := EnvelopePath(dir, opts.Quick, a.Name, cell, k)
+				if !opts.Force && classify(path, Label(a.Name, cell, k), cell, k) == StateFresh {
+					fresh[k] = true
+					report.Skipped = append(report.Skipped, k)
+				} else {
+					report.Executed = append(report.Executed, k)
+				}
+			}
+			reports = append(reports, report)
+			if len(report.Executed) == 0 {
+				continue
+			}
+			if err := os.MkdirAll(RunDir(dir, opts.Quick, a.Name), 0o755); err != nil {
+				return reports, fmt.Errorf("artifact: %w", err)
+			}
+			a, cell := a, cell
+			ecfg := ensemble.Config{
+				Replicates: cell.Replicates,
+				Workers:    opts.EnsembleWorkers,
+				Skip:       func(k int) bool { return fresh[k] },
+				ReplicateCheckpoint: func(k int) (string, string) {
+					return EnvelopePath(dir, opts.Quick, a.Name, cell, k), Label(a.Name, cell, k)
+				},
+			}
+			switch {
+			case cell.Serial != nil:
+				_, err = ensemble.RunSerial(ctx, *cell.Serial, cell.Generations, ecfg)
+			case cell.Parallel != nil:
+				_, err = ensemble.RunParallel(*cell.Parallel, ecfg)
+			default:
+				err = fmt.Errorf("cell %s/%s has no engine config", a.Name, cell.Key)
+			}
+			if err != nil {
+				return reports, fmt.Errorf("artifact: %s/%s: %w", a.Name, cell.Key, err)
+			}
+		}
+	}
+	return reports, nil
+}

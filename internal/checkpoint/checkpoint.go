@@ -297,6 +297,36 @@ func Read(r io.Reader) (Snapshot, error) {
 	if len(env.Strategies) == 0 {
 		return Snapshot{}, fmt.Errorf("checkpoint: empty strategy table")
 	}
+	// Reject envelopes no writer can produce (Write enforces the same
+	// invariants), so a corrupt or hand-crafted file fails here with a clean
+	// error instead of surfacing as an inconsistent snapshot downstream.
+	if env.Generation < 0 {
+		return Snapshot{}, fmt.Errorf("checkpoint: negative generation %d", env.Generation)
+	}
+	if env.MemorySteps < 1 || env.MemorySteps > game.MaxMemorySteps {
+		return Snapshot{}, fmt.Errorf("checkpoint: memory steps %d out of range", env.MemorySteps)
+	}
+	if env.PCEvents < 0 || env.Adoptions < 0 || env.Mutations < 0 || env.GamesPlayed < 0 {
+		return Snapshot{}, fmt.Errorf("checkpoint: negative event counter (pc=%d adoptions=%d mutations=%d games=%d)",
+			env.PCEvents, env.Adoptions, env.Mutations, env.GamesPlayed)
+	}
+	// Every writer since the named era fills these identity fields (Write
+	// maps empty ones onto the defaults before encoding), so an envelope of
+	// that era with an empty field cannot be a writer's output.
+	if env.Game == "" || env.UpdateRule == "" {
+		return Snapshot{}, fmt.Errorf("checkpoint: version-%d envelope is missing its game/update-rule identity", env.Version)
+	}
+	if env.Topology == "" {
+		return Snapshot{}, fmt.Errorf("checkpoint: version-%d envelope is missing its topology identity", env.Version)
+	}
+	if env.Payoff == ([4]float64{}) {
+		// Write resolves an all-zero payoff to the scenario's canonical
+		// matrix before encoding; resolve it the same way here so the
+		// snapshot is identical to what re-encoding would produce.
+		if spec, err := game.LookupSpec(env.Game); err == nil {
+			env.Payoff = spec.Payoff.Table()
+		}
+	}
 	s := Snapshot{
 		Generation:  env.Generation,
 		Seed:        env.Seed,
@@ -316,8 +346,16 @@ func Read(r io.Reader) (Snapshot, error) {
 		GamesPlayed: env.GamesPlayed,
 	}
 	if env.Resume {
+		if env.Engine != EngineSerial && env.Engine != EngineParallel {
+			return Snapshot{}, fmt.Errorf("checkpoint: resume snapshot has unknown engine %q", env.Engine)
+		}
 		if _, ok := s.Stream(StreamNature); !ok {
 			return Snapshot{}, fmt.Errorf("checkpoint: resume snapshot is missing the %q stream", StreamNature)
+		}
+		for _, st := range env.Streams {
+			if st.State == ([4]uint64{}) {
+				return Snapshot{}, fmt.Errorf("checkpoint: stream %q has an all-zero RNG state", st.Name)
+			}
 		}
 	}
 	for i, enc := range env.Strategies {
@@ -325,9 +363,22 @@ func Read(r io.Reader) (Snapshot, error) {
 		if err != nil {
 			return Snapshot{}, fmt.Errorf("checkpoint: decoding strategy %d: %w", i, err)
 		}
+		if got := strategyDepth(strat); got != env.MemorySteps {
+			return Snapshot{}, fmt.Errorf("checkpoint: strategy %d has memory depth %d, envelope declares %d",
+				i, got, env.MemorySteps)
+		}
 		s.Strategies[i] = strat
 	}
 	return s, nil
+}
+
+// strategyDepth returns the memory depth of a decoded strategy (every type
+// the codec produces reports one).
+func strategyDepth(s strategy.Strategy) int {
+	if d, ok := s.(interface{ MemorySteps() int }); ok {
+		return d.MemorySteps()
+	}
+	return -1
 }
 
 // Save writes the snapshot atomically and durably to the given path: the

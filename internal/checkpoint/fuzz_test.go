@@ -1,0 +1,146 @@
+package checkpoint
+
+// FuzzLoadEnvelope drives Read over arbitrary bytes — the attack surface a
+// checkpoint file on disk presents — seeded with well-formed envelopes of
+// every format version plus characteristic corruptions.  The properties
+// are: Read never panics, it returns either a snapshot or an error (never
+// both halves of an inconsistent state), and any snapshot it accepts
+// round-trips through Write and Read unchanged — i.e. Read only admits
+// states the writer could have produced.  The white-box seeds use the
+// unexported envelope struct to craft version 1-3 streams the way the
+// historical writers did (older fields only, newer fields absent from the
+// gob stream).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"evogame/internal/rng"
+	"evogame/internal/strategy"
+)
+
+// fuzzSeedEnvelopes builds one well-formed byte stream per format era.
+func fuzzSeedEnvelopes(t testing.TB) [][]byte {
+	t.Helper()
+	src := rng.New(99)
+	table := func(n, mem int) []strategy.Strategy {
+		out := make([]strategy.Strategy, n)
+		for i := range out {
+			out[i] = strategy.RandomPure(mem, src)
+		}
+		return out
+	}
+	encodeTable := func(strats []strategy.Strategy) [][]byte {
+		out := make([][]byte, len(strats))
+		for i, s := range strats {
+			enc, err := strategy.Encode(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = enc
+		}
+		return out
+	}
+	gobBytes := func(env envelope) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var seeds [][]byte
+
+	// Version 4, final-only and resumable, via the real writer.
+	var v4 bytes.Buffer
+	if err := Write(&v4, Snapshot{
+		Generation: 12, Seed: 7, MemorySteps: 2,
+		Strategies: table(4, 2), Label: "fuzz seed",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, v4.Bytes())
+
+	var v4resume bytes.Buffer
+	if err := Write(&v4resume, Snapshot{
+		Generation: 3, Seed: 11, MemorySteps: 1,
+		Strategies: table(3, 1),
+		Resume:     true, Engine: EngineSerial,
+		Streams: []Stream{
+			{Name: StreamNature, State: [4]uint64{1, 2, 3, 4}},
+			{Name: StreamGame, State: [4]uint64{5, 6, 7, 8}},
+		},
+		PCEvents: 3, Adoptions: 2, Mutations: 1, GamesPlayed: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, v4resume.Bytes())
+
+	// Versions 1-3 the way the historical writers produced them: older
+	// fields only (gob omits zero-valued fields, so leaving the newer ones
+	// zero reproduces the old streams).
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 1, Generation: 5, Seed: 2013, MemorySteps: 1,
+		Strategies: encodeTable(table(2, 1)),
+	}))
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 2, Generation: 6, Seed: 2013, MemorySteps: 3,
+		Game: "snowdrift", Payoff: [4]float64{3, 1, 4, 0}, UpdateRule: "moran",
+		Strategies: encodeTable(table(2, 3)),
+	}))
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 3, Generation: 7, Seed: 2013, MemorySteps: 1,
+		Game: "ipd", Payoff: [4]float64{3, 0, 4, 1}, UpdateRule: "fermi",
+		Topology: "ring:4", Label: "v3 era",
+		Strategies: encodeTable(table(4, 1)),
+	}))
+
+	// Characteristic corruptions: unsupported versions, empty tables,
+	// truncated strategy bytes, depth mismatch, bogus resume state.
+	seeds = append(seeds, gobBytes(envelope{Version: 99, MemorySteps: 1, Strategies: [][]byte{{1}}}))
+	seeds = append(seeds, gobBytes(envelope{Version: 4, MemorySteps: 1}))
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 4, MemorySteps: 1, Strategies: [][]byte{{1, 1}},
+	}))
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 4, MemorySteps: 4, Strategies: encodeTable(table(1, 2)),
+	}))
+	seeds = append(seeds, gobBytes(envelope{
+		Version: 4, MemorySteps: 1, Strategies: encodeTable(table(1, 1)),
+		Resume: true, Engine: "quantum",
+		Streams: []Stream{{Name: StreamNature, State: [4]uint64{1, 0, 0, 0}}},
+	}))
+	seeds = append(seeds, []byte{})
+	seeds = append(seeds, []byte("not a gob stream"))
+	if full := v4.Bytes(); len(full) > 10 {
+		seeds = append(seeds, full[:len(full)/2])
+	}
+	return seeds
+}
+
+func FuzzLoadEnvelope(f *testing.F) {
+	for _, seed := range fuzzSeedEnvelopes(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever Read admits must be a state the writer could have
+		// produced: re-encoding must succeed and decode back unchanged.
+		var buf bytes.Buffer
+		if err := Write(&buf, snap); err != nil {
+			t.Fatalf("Read accepted a snapshot Write rejects: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading a re-encoded snapshot: %v", err)
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatalf("round trip changed the snapshot:\nfirst:  %+v\nsecond: %+v", snap, again)
+		}
+	})
+}

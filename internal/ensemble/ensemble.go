@@ -54,6 +54,27 @@ type Config struct {
 	// flag exists for benchmarking the sharing itself and for keeping
 	// memory bounded per run.
 	PrivateCaches bool
+	// ReplicateCheckpoint, when non-nil, gives every replicate its own
+	// checkpoint destination: replicate k writes its final resumable (v4)
+	// snapshot to the returned path with the returned label.  This is the
+	// supported way to checkpoint an ensemble — the base config's single
+	// CheckpointPath stays rejected because replicates would race on one
+	// file — and it is what makes the paper-artifact pipeline incremental:
+	// each (cell, replicate) run persists its own envelope, so a collector
+	// can re-render tables from whatever snapshots exist.  Checkpoints are
+	// final-state only; for periodic mid-run checkpoints run the replicate
+	// solo.
+	ReplicateCheckpoint func(k int) (path, label string)
+	// Skip, when non-nil, excludes replicate k from execution when it
+	// returns true.  Seeds are still derived by index, so the replicates
+	// that do run are bit-identical to a full ensemble (cross-run cache
+	// sharing only changes which lookups hit).  Skipped slots are left as
+	// zero values in Runs, contribute nothing to the merged metrics, and
+	// collapse the aggregated trajectory (a skipped run has no samples), so
+	// aggregate consumers should either skip nothing or aggregate
+	// externally — the artifact collector reads the per-replicate
+	// checkpoints instead.
+	Skip func(k int) bool
 }
 
 // resolveWorkers applies the worker-budget rule to the ensemble tier.
@@ -150,7 +171,7 @@ func RunSerial(ctx context.Context, base population.Config, generations int, cfg
 		return SerialResult{}, err
 	}
 	if base.CheckpointPath != "" || base.CheckpointEvery != 0 {
-		return SerialResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); run seeds individually to checkpoint them", base.CheckpointPath)
+		return SerialResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); use Config.ReplicateCheckpoint for per-replicate snapshots", base.CheckpointPath)
 	}
 	if base.SharedCache != nil {
 		return SerialResult{}, fmt.Errorf("ensemble: base.SharedCache must be unset; the ensemble manages the shared store")
@@ -193,8 +214,14 @@ func RunSerial(ctx context.Context, base population.Config, generations int, cfg
 	errs := make([]error, n)
 	start := time.Now()
 	runReplicates(workers, n, func(k int) {
+		if cfg.Skip != nil && cfg.Skip(k) {
+			return
+		}
 		rcfg := base
 		rcfg.Seed = res.Seeds[k]
+		if cfg.ReplicateCheckpoint != nil {
+			rcfg.CheckpointPath, rcfg.CheckpointLabel = cfg.ReplicateCheckpoint(k)
+		}
 		model, err := population.New(rcfg)
 		if err != nil {
 			errs[k] = err
@@ -241,7 +268,7 @@ func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
 		return ParallelResult{}, err
 	}
 	if base.CheckpointPath != "" || base.CheckpointEvery != 0 {
-		return ParallelResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); run seeds individually to checkpoint them", base.CheckpointPath)
+		return ParallelResult{}, fmt.Errorf("ensemble: checkpointing is per-run (replicates would race on %q); use Config.ReplicateCheckpoint for per-replicate snapshots", base.CheckpointPath)
 	}
 	if base.Resume != nil {
 		return ParallelResult{}, fmt.Errorf("ensemble: Resume is per-run; resume the single run it belongs to")
@@ -281,8 +308,14 @@ func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
 	errs := make([]error, n)
 	start := time.Now()
 	runReplicates(workers, n, func(k int) {
+		if cfg.Skip != nil && cfg.Skip(k) {
+			return
+		}
 		rcfg := base
 		rcfg.Seed = res.Seeds[k]
+		if cfg.ReplicateCheckpoint != nil {
+			rcfg.CheckpointPath, rcfg.CheckpointLabel = cfg.ReplicateCheckpoint(k)
+		}
 		res.Runs[k], errs[k] = parallel.Run(rcfg)
 	})
 	res.WallClock = time.Since(start)

@@ -68,3 +68,126 @@ func TestParallelMetricsPopulated(t *testing.T) {
 		t.Errorf("BatchLaneOccupancy = %v, want in (0, 1]", occ)
 	}
 }
+
+// TestMetricsMergeEdgeCases pins Merge's semantics field family by family:
+// counters sum, Generations takes the maximum (merging the ranks of one run
+// keeps its generation count), and the derived batch-lane occupancy
+// re-weights itself from the combined BatchGames/BatchCalls.
+func TestMetricsMergeEdgeCases(t *testing.T) {
+	full := Metrics{
+		Generations: 10,
+		CachePlays:  100, CacheHits: 60, CacheMisses: 40, CacheBypassed: 5, CacheEvicted: 2,
+		ScalarGames: 7, CycleGames: 11, BatchGames: 128, BatchCalls: 2,
+		PCEvents: 9, Adoptions: 4, Mutations: 3,
+	}
+	cases := []struct {
+		name string
+		into Metrics
+		from Metrics
+		want Metrics
+	}{
+		{
+			name: "zero value is the identity on the right",
+			into: full,
+			from: Metrics{},
+			want: full,
+		},
+		{
+			name: "zero value is the identity on the left",
+			into: Metrics{},
+			from: full,
+			want: full,
+		},
+		{
+			name: "cache-only counters sum without touching the kernel mix",
+			into: Metrics{Generations: 5, CacheHits: 10, CacheMisses: 2},
+			from: Metrics{Generations: 5, CachePlays: 8, CacheHits: 1, CacheEvicted: 4},
+			want: Metrics{Generations: 5, CachePlays: 8, CacheHits: 11, CacheMisses: 2, CacheEvicted: 4},
+		},
+		{
+			name: "kernel-only counters sum without touching the cache",
+			into: Metrics{ScalarGames: 3, BatchGames: 64, BatchCalls: 1},
+			from: Metrics{CycleGames: 9, BatchGames: 32, BatchCalls: 1},
+			want: Metrics{ScalarGames: 3, CycleGames: 9, BatchGames: 96, BatchCalls: 2},
+		},
+		{
+			name: "generations take the maximum, not the sum",
+			into: Metrics{Generations: 60, PCEvents: 1},
+			from: Metrics{Generations: 60, Adoptions: 2},
+			want: Metrics{Generations: 60, PCEvents: 1, Adoptions: 2},
+		},
+		{
+			name: "shorter run folded into longer keeps the longer horizon",
+			into: Metrics{Generations: 100},
+			from: Metrics{Generations: 40, Mutations: 7},
+			want: Metrics{Generations: 100, Mutations: 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.into
+			got.Merge(tc.from)
+			if got != tc.want {
+				t.Errorf("Merge result:\n got  %+v\n want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMetricsMergeOccupancyReweighting covers the derived-quantity edge
+// cases: merging metrics with zero batch calls must neither panic nor
+// disturb the other side's occupancy, and merging two batch runs yields the
+// occupancy of the combined counters rather than any average of the two.
+func TestMetricsMergeOccupancyReweighting(t *testing.T) {
+	if occ := (Metrics{}).BatchLaneOccupancy(); occ != 0 {
+		t.Fatalf("zero-value occupancy = %v, want 0 (batch kernel never ran)", occ)
+	}
+
+	batch := Metrics{BatchGames: 64, BatchCalls: 1} // one full SWAR call
+	noBatch := Metrics{ScalarGames: 500}            // zero calls: occupancy undefined
+	merged := batch
+	merged.Merge(noBatch)
+	if occ := merged.BatchLaneOccupancy(); occ != 1 {
+		t.Errorf("occupancy after folding a zero-call run = %v, want 1 (unchanged)", occ)
+	}
+
+	half := Metrics{BatchGames: 32, BatchCalls: 1} // one half-full call
+	combined := batch
+	combined.Merge(half)
+	// (64+32)/(2*64) = 0.75: the occupancy of the pooled counters, not the
+	// mean of the per-run occupancies weighted equally.
+	if occ := combined.BatchLaneOccupancy(); occ != 0.75 {
+		t.Errorf("pooled occupancy = %v, want 0.75", occ)
+	}
+}
+
+// TestMetricsMergeCommutativeAssociative checks the algebraic property the
+// ensemble tier relies on: folding per-replicate metrics must not depend on
+// replicate completion order.
+func TestMetricsMergeCommutativeAssociative(t *testing.T) {
+	samples := []Metrics{
+		{},
+		{Generations: 10, CacheHits: 3, ScalarGames: 5, PCEvents: 1},
+		{Generations: 60, CacheMisses: 8, BatchGames: 96, BatchCalls: 2, Adoptions: 4},
+		{Generations: 25, CachePlays: 40, CycleGames: 13, BatchGames: 64, BatchCalls: 1, Mutations: 6},
+	}
+	merge := func(a, b Metrics) Metrics {
+		a.Merge(b)
+		return a
+	}
+	for i, a := range samples {
+		for j, b := range samples {
+			if merge(a, b) != merge(b, a) {
+				t.Errorf("Merge is not commutative for samples %d and %d", i, j)
+			}
+			for k, c := range samples {
+				left := merge(merge(a, b), c)
+				right := merge(a, merge(b, c))
+				if left != right {
+					t.Errorf("Merge is not associative for samples %d, %d, %d:\n (a+b)+c = %+v\n a+(b+c) = %+v",
+						i, j, k, left, right)
+				}
+			}
+		}
+	}
+}

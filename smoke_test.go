@@ -42,9 +42,14 @@ var smokeTargets = []struct {
 		"-replicates", "3", "-ensemble-workers", "2", "-ssets", "12", "-agents", "2",
 		"-rounds", "20", "-generations", "30", "-sample-every", "15", "-noise", "0",
 		"-eval", "cached"}},
-	{"memory_sweep", "./examples/memory_sweep", []string{
-		"-ssets", "9", "-ranks", "3", "-generations", "2", "-replicates", "2"}},
-	{"scaling_study", "./examples/scaling_study", nil},
+	{"memory_sweep", "./examples/memory_sweep", []string{"-quick"}},
+	{"scaling_study", "./examples/scaling_study", []string{"-quick"}},
+	{"paperkit-list", "./cmd/paperkit", []string{"list"}},
+	{"paperkit-status", "./cmd/paperkit", []string{"status", "-quick"}},
+	// Verify re-renders the committed quick-grid tables from the committed
+	// run envelopes and fails on any byte difference — the repository's own
+	// regenerability gate, exercised on every push.
+	{"paperkit-verify", "./cmd/paperkit", []string{"verify", "-quick"}},
 	{"snowdrift", "./examples/snowdrift", []string{
 		"-ssets", "16", "-generations", "400", "-seeds", "2"}},
 	{"lattice_cooperation", "./examples/lattice_cooperation", []string{
