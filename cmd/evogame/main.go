@@ -151,6 +151,7 @@ func (o *runOptions) adoptCheckpointIdentity(snap checkpoint.Snapshot) {
 }
 
 func run(o runOptions) error {
+	//lint:allow randsource wall-clock elapsed time for the CLI summary line; never feeds simulation state
 	start := time.Now()
 	var finalStrategies []string
 

@@ -1,0 +1,196 @@
+// Command evolint runs the repository's zero-dependency determinism and
+// concurrency analyzer suite (internal/lint) over the module and reports
+// findings in the conventional file:line:col form (or JSON with -json).
+//
+// Usage:
+//
+//	evolint [flags] [patterns]
+//
+// Patterns select which packages' findings are reported: "./..." (the
+// default) reports everything; "./internal/fitness" one package;
+// "./internal/..." a subtree.  Analysis always covers the whole module —
+// cross-package analyzers such as atomicmix need the full picture — only
+// the reporting is filtered.
+//
+// Flags:
+//
+//	-json                  emit findings as a JSON array
+//	-list                  list the analyzers and exit
+//	-run a,b               run only the named analyzers
+//	-envelope-fingerprint  print the checkpoint envelope fingerprint (for
+//	                       updating the envelopelock pin) and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"evogame/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("evolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fingerprint := fs.Bool("envelope-fingerprint", false, "print the current checkpoint envelope fingerprint and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "evolint:", err)
+		return 2
+	}
+	ctx, err := lint.Load(root, module)
+	if err != nil {
+		fmt.Fprintln(stderr, "evolint:", err)
+		return 2
+	}
+
+	if *fingerprint {
+		return printFingerprint(ctx, stdout, stderr)
+	}
+
+	diags := lint.Run(ctx, analyzers)
+	diags = filterPatterns(diags, fs.Args())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "evolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "evolint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s has no module line", filepath.Join(dir, "go.mod"))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// pattern is one parsed package pattern: a module-relative directory and
+// whether it covers the whole subtree ("/..." suffix).
+type pattern struct {
+	dir       string
+	recursive bool
+}
+
+// filterPatterns keeps the diagnostics whose file falls under one of the
+// package patterns.  No patterns (or "./...") means everything.
+func filterPatterns(diags []lint.Diagnostic, args []string) []lint.Diagnostic {
+	if len(args) == 0 {
+		return diags
+	}
+	var pats []pattern
+	for _, p := range args {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		p = strings.TrimSuffix(p, "/")
+		pat := pattern{dir: p}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			pat = pattern{dir: rest, recursive: true}
+		} else if p == "..." {
+			pat = pattern{dir: "", recursive: true}
+		}
+		if pat.dir == "" || pat.dir == "." {
+			if pat.recursive {
+				return diags // ./... covers the whole tree
+			}
+			pat.dir = "."
+		}
+		pats = append(pats, pat)
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := filepath.ToSlash(filepath.Dir(d.File))
+		for _, p := range pats {
+			if dir == p.dir || p.recursive && strings.HasPrefix(dir+"/", p.dir+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// printFingerprint prints the live checkpoint-envelope fingerprint so the
+// envelopelock pin can be updated deliberately after a format change.
+func printFingerprint(ctx *lint.Context, stdout, stderr *os.File) int {
+	pkg := ctx.PackageAt("internal/checkpoint")
+	if pkg == nil {
+		fmt.Fprintln(stderr, "evolint: no internal/checkpoint package in this tree")
+		return 2
+	}
+	st, _ := lint.FindStruct(pkg, "envelope")
+	if st == nil {
+		fmt.Fprintln(stderr, "evolint: internal/checkpoint declares no envelope struct")
+		return 2
+	}
+	fmt.Fprintf(stdout, "%#x\n", lint.EnvelopeFingerprint(ctx.Fset, st))
+	return 0
+}

@@ -50,6 +50,7 @@ func main() {
 
 	fmt.Printf("validation run: %d SSets x %d agents, memory-one, %d generations, noise %.2f\n",
 		cfg.NumSSets, cfg.AgentsPerSSet, cfg.Generations, cfg.Noise)
+	//lint:allow randsource wall-clock elapsed time for the validation report; never feeds simulation state
 	start := time.Now()
 	res, err := evogame.Simulate(context.Background(), cfg)
 	if err != nil {

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"evogame"
 )
@@ -22,7 +23,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("entrants (memory-one move tables):")
-	for name, table := range entrants {
+	names := make([]string, 0, len(entrants))
+	for name := range entrants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		table := entrants[name]
 		traits, err := evogame.ClassifyStrategy(table, 1)
 		if err != nil {
 			log.Fatal(err)

@@ -46,6 +46,7 @@ func main() {
 		*ssetsFlag, *gensFlag, *seedsFlag)
 	fmt.Printf("%-22s  %-18s  %s\n", "scenario", "payoff [R,S,T,P]", "yields to defector (mean over seeds)")
 	for _, sc := range scenarios {
+		//lint:allow randsource wall-clock elapsed time for the per-scenario progress line; never feeds simulation state
 		start := time.Now()
 		meanYield, games := 0.0, int64(0)
 		for seed := 0; seed < *seedsFlag; seed++ {

@@ -52,6 +52,7 @@ func main() {
 
 	fmt.Printf("evolving %d SSets (%d agents) of random memory-one strategies for %d generations...\n",
 		cfg.NumSSets, cfg.NumSSets*cfg.AgentsPerSSet, cfg.Generations)
+	//lint:allow randsource wall-clock elapsed time for the run summary; never feeds simulation state
 	start := time.Now()
 	res, err := evogame.Simulate(context.Background(), cfg)
 	if err != nil {

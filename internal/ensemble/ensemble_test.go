@@ -109,7 +109,14 @@ func TestSerialSharedMatchesPrivateAndSolo(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					for name, got := range map[string]population.Result{"shared": shared.Runs[k], "private": private.Runs[k]} {
+					// Ordered slice, not a map literal: comparison order (and
+					// therefore which failure fires first) must be stable
+					// under -shuffle=on.
+					for _, c := range []struct {
+						name string
+						got  population.Result
+					}{{"shared", shared.Runs[k]}, {"private", private.Runs[k]}} {
+						name, got := c.name, c.got
 						if fmt.Sprint(got.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
 							t.Fatalf("replicate %d (%s cache): final strategies diverge from the solo run", k, name)
 						}
@@ -175,7 +182,14 @@ func TestParallelSharedMatchesPrivateAndSolo(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					for name, got := range map[string]parallel.Result{"shared": shared.Runs[k], "private": private.Runs[k]} {
+					// Ordered slice, not a map literal: comparison order (and
+					// therefore which failure fires first) must be stable
+					// under -shuffle=on.
+					for _, c := range []struct {
+						name string
+						got  parallel.Result
+					}{{"shared", shared.Runs[k]}, {"private", private.Runs[k]}} {
+						name, got := c.name, c.got
 						if fmt.Sprint(got.FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
 							t.Fatalf("replicate %d (%s cache): final strategies diverge from the solo run", k, name)
 						}

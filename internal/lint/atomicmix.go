@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces the counter discipline of fitness.PairCache and
+// fitness.Metrics: once any code path touches a struct field through
+// sync/atomic (atomic.AddInt64(&s.hits, 1), atomic.LoadUint64(&s.n), ...),
+// every access to that field anywhere in the module must be atomic too.  A
+// single plain read racing an atomic writer is undefined behaviour the race
+// detector only catches when the schedule cooperates; this analyzer catches
+// it structurally.  Fields of the typed sync/atomic wrappers (atomic.Int64
+// and friends) are safe by construction and not this analyzer's concern.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(ctx *Context) {
+	// Pass 1: collect every field object that is the target of a
+	// sync/atomic call, and remember those sanctioned selector nodes.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range ctx.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) || len(call.Args) == 0 {
+					return true
+				}
+				sel := addressedField(call.Args[0])
+				if sel == nil {
+					return true
+				}
+				if fld := fieldObject(pkg, sel); fld != nil {
+					atomicFields[fld] = true
+					sanctioned[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: every other selector access to one of those fields is a
+	// mixed plain/atomic access.
+	for _, pkg := range ctx.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fld := fieldObject(pkg, sel)
+				if fld != nil && atomicFields[fld] {
+					ctx.Reportf(sel.Pos(), "field %s.%s is accessed via sync/atomic elsewhere; this plain access races it (use sync/atomic here too)", fieldOwner(fld), fld.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a function of the sync/atomic
+// package (the free functions taking a pointer; methods on the typed
+// wrappers never mix with plain access by construction).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return identIsPackage(pkg, id, "sync/atomic")
+}
+
+// addressedField unwraps &x.f (possibly parenthesized) to the selector.
+func addressedField(e ast.Expr) *ast.SelectorExpr {
+	u, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	sel, _ := unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// fieldObject resolves a selector to the struct field it names, or nil if
+// the selector is not a field access.
+func fieldObject(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort, for
+// readable messages.
+func fieldOwner(fld *types.Var) string {
+	if p := fld.Pkg(); p != nil {
+		return p.Name()
+	}
+	return "?"
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Pinned structural fingerprint of the checkpoint envelope.  The v1–v4
+// compatibility matrix in docs/CHECKPOINT.md is only honest while the
+// on-disk struct matches what that matrix describes, so any field
+// add/remove/rename/retype must come with a formatVersion bump — and a
+// deliberate update of this pin (plus the matrix, plus Read's back-compat
+// defaults).  Regenerate the fingerprint with:
+//
+//	go run ./cmd/evolint -envelope-fingerprint
+const (
+	pinnedEnvelopeVersion     = 4
+	pinnedEnvelopeFingerprint = 0xf7eef7ff68e9b1d6
+)
+
+// envelopePackage / envelopeStruct / envelopeVersionConst locate the pinned
+// declaration inside the tree under analysis.
+const (
+	envelopePackage      = "internal/checkpoint"
+	envelopeStruct       = "envelope"
+	envelopeVersionConst = "formatVersion"
+)
+
+// EnvelopeLock pins the structural fingerprint of checkpoint's on-disk
+// envelope struct: any field add/remove/rename/retype fails until the
+// format version constant is bumped and the pin updated, keeping the v1–v4
+// compatibility matrix honest.
+var EnvelopeLock = &Analyzer{
+	Name: "envelopelock",
+	Doc:  "the checkpoint envelope struct may only change together with a formatVersion bump",
+	Run:  runEnvelopeLock,
+}
+
+func runEnvelopeLock(ctx *Context) {
+	pkg := ctx.PackageAt(envelopePackage)
+	if pkg == nil {
+		// Fixture trees without a checkpoint package simply do not
+		// exercise this analyzer; the repository always has one, and the
+		// self-run test fails on any load that misses it.
+		return
+	}
+	st, pos := FindStruct(pkg, envelopeStruct)
+	if st == nil {
+		ctx.Reportf(pkg.Files[0].Pos(), "%s no longer declares struct %q: the envelope fingerprint pin has nothing to guard (update internal/lint/envelopelock.go)", envelopePackage, envelopeStruct)
+		return
+	}
+	version, vpos, found := findIntConst(pkg, envelopeVersionConst)
+	if !found {
+		ctx.Reportf(pkg.Files[0].Pos(), "%s no longer declares const %q: the envelope version pin has nothing to guard (update internal/lint/envelopelock.go)", envelopePackage, envelopeVersionConst)
+		return
+	}
+	if version != pinnedEnvelopeVersion {
+		ctx.Reportf(vpos, "%s = %d but the envelopelock pin says %d: after auditing the docs/CHECKPOINT.md compat matrix, update pinnedEnvelopeVersion and pinnedEnvelopeFingerprint in internal/lint/envelopelock.go", envelopeVersionConst, version, pinnedEnvelopeVersion)
+		return
+	}
+	got := EnvelopeFingerprint(ctx.Fset, st)
+	if got != pinnedEnvelopeFingerprint {
+		ctx.Reportf(pos, "struct %s changed (fingerprint %#x, pinned %#x) without bumping %s: checkpoint format changes need a version bump, Read back-compat defaults, a docs/CHECKPOINT.md row, and a new envelopelock pin", envelopeStruct, got, uint64(pinnedEnvelopeFingerprint), envelopeVersionConst)
+	}
+}
+
+// EnvelopeFingerprint hashes the ordered field list of a struct type —
+// names and printed types — with FNV-64a.  Exported so cmd/evolint can
+// print the value to update the pin.
+func EnvelopeFingerprint(fset *token.FileSet, st *ast.StructType) uint64 {
+	h := fnv.New64a()
+	for _, field := range st.Fields.List {
+		var buf strings.Builder
+		printer.Fprint(&buf, fset, field.Type)
+		if len(field.Names) == 0 {
+			h.Write([]byte("embedded " + buf.String() + ";"))
+			continue
+		}
+		for _, name := range field.Names {
+			h.Write([]byte(name.Name + " " + buf.String() + ";"))
+		}
+	}
+	return h.Sum64()
+}
+
+// FindStruct locates a struct type declaration by name.  Exported so
+// cmd/evolint can fingerprint the live envelope for pin updates.
+func FindStruct(pkg *Package, name string) (*ast.StructType, token.Pos) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st, ts.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// findIntConst locates an integer constant declaration by name and returns
+// its literal value.
+func findIntConst(pkg *Package, name string) (int, token.Pos, bool) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.INT {
+						v, err := strconv.Atoi(lit.Value)
+						if err == nil {
+							return v, id.Pos(), true
+						}
+					}
+				}
+			}
+		}
+	}
+	return 0, token.NoPos, false
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// ErrStyle enforces the validation-error convention PRs 6–7 established:
+// an error built inside a validate/check function must name the offending
+// field, flag or parameter, so the user of a 20-field Config learns *which*
+// knob is wrong, not just that one is.  A message passes when one of its
+// words overlaps a field name of the receiver/parameter structs or a
+// parameter name; pure wrap-and-rethrow errors (%w) pass, since the named
+// context arrives from the wrapped error.
+var ErrStyle = &Analyzer{
+	Name: "errstyle",
+	Doc:  "validation errors must name the offending field or flag",
+	Run:  runErrStyle,
+}
+
+func runErrStyle(ctx *Context) {
+	for _, pkg := range ctx.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isValidationFunc(fd.Name.Name) {
+					continue
+				}
+				vocab := validationVocabulary(pkg, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					format, ok := errorMessage(pkg, call)
+					if !ok || strings.Contains(format, "%w") {
+						return true
+					}
+					if !namesAField(format, vocab) {
+						ctx.Reportf(call.Pos(), "validation error %q does not name the offending field/flag (known names: %s)", format, strings.Join(vocab, ", "))
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// isValidationFunc reports whether a function name marks a validation
+// context: validate*, Validate*, check*, Check*.
+func isValidationFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "validate") || strings.HasPrefix(lower, "check")
+}
+
+// validationVocabulary collects the names an error message may cite: the
+// fields of the receiver and of struct-typed parameters, plus the
+// parameter names themselves.
+func validationVocabulary(pkg *Package, fd *ast.FuncDecl) []string {
+	var vocab []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		l := strings.ToLower(name)
+		if len(l) >= 2 && !seen[l] {
+			seen[l] = true
+			vocab = append(vocab, name)
+		}
+	}
+	addStructFields := func(t types.Type) {
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			add(st.Field(i).Name())
+		}
+	}
+	fields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				add(name.Name)
+			}
+			if pkg.Info != nil {
+				addStructFields(pkg.Info.TypeOf(field.Type))
+			}
+		}
+	}
+	fields(fd.Recv)
+	fields(fd.Type.Params)
+	return vocab
+}
+
+// errorMessage extracts the constant message of a fmt.Errorf or errors.New
+// call; ok is false for any other call or a non-literal message.
+func errorMessage(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	isErrorf := sel.Sel.Name == "Errorf" && identIsPackage(pkg, id, "fmt")
+	isNew := sel.Sel.Name == "New" && identIsPackage(pkg, id, "errors")
+	if !isErrorf && !isNew {
+		return "", false
+	}
+	return stringLiteral(pkg, call.Args[0])
+}
+
+// stringLiteral resolves an expression to its constant string value when
+// the type-checker knows it (handles literals and literal concatenation).
+func stringLiteral(pkg *Package, e ast.Expr) (string, bool) {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	return "", false
+}
+
+// namesAField reports whether a message token overlaps one of the known
+// names (exact, or substring either way, minimum three characters).
+func namesAField(format string, vocab []string) bool {
+	for _, tok := range messageTokens(format) {
+		for _, name := range vocab {
+			l := strings.ToLower(name)
+			if tok == l {
+				return true
+			}
+			if len(tok) >= 3 && len(l) >= 3 && (strings.Contains(l, tok) || strings.Contains(tok, l)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// messageTokens splits a format string into lowercased alphanumeric runs,
+// dropping printf verbs.
+func messageTokens(format string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	skipVerb := false
+	for _, r := range format {
+		if skipVerb {
+			// Consume one verb character (%d, %q, %v, %s, ...); enough for
+			// the simple verbs validation messages use.
+			skipVerb = false
+			continue
+		}
+		if r == '%' {
+			flush()
+			skipVerb = true
+			continue
+		}
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}

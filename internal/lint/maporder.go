@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose body is sensitive to
+// iteration order: appending non-key material to a slice, writing to an
+// output/hash/builder, or accumulating floats or strings into a single
+// accumulator.  Go randomizes map iteration order per run, so any of these
+// makes a trajectory, rendered table or hash differ between identical
+// invocations.  The one blessed idiom is collect-keys-then-sort: an append
+// of only the range variables followed by a sort of the collected slice in
+// the same block passes; everything else needs the keys sorted first or a
+// //lint:allow maporder with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding output, slices or float/string accumulators must sort keys first",
+	Run:  runMapOrder,
+}
+
+// outputCallNames are method names treated as order-sensitive sinks when
+// called inside a map-range body: stream/builder/hash writes.
+var outputCallNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtPrintNames are fmt-package functions treated as order-sensitive sinks.
+var fmtPrintNames = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(ctx *Context) {
+	for _, pkg := range ctx.Packages {
+		for _, f := range pkg.Files {
+			blocks := stmtLists(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pkg, rng.X) {
+					return true
+				}
+				if msg := mapRangeHazard(pkg, rng, blocks); msg != "" {
+					ctx.Reportf(rng.Pos(), "range over map %s: iteration order is randomized per run; sort the keys first", msg)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether expr's type is (or underlies to) a map.
+func isMapType(pkg *Package, expr ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// stmtLists indexes every statement list in the file (blocks, case and
+// comm clauses) so a range statement can find its trailing siblings.
+func stmtLists(f *ast.File) map[ast.Stmt][]ast.Stmt {
+	out := map[ast.Stmt][]ast.Stmt{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = list[i+1:]
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			record(b.List)
+		case *ast.CaseClause:
+			record(b.Body)
+		case *ast.CommClause:
+			record(b.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeHazard returns a description of the first order-sensitive
+// operation in the range body, or "" if the body is order-safe.
+func mapRangeHazard(pkg *Package, rng *ast.RangeStmt, blocks map[ast.Stmt][]ast.Stmt) string {
+	rangeVars := map[string]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			rangeVars[id.Name] = true
+		}
+	}
+	var hazard string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if msg := assignHazard(pkg, rng, s, rangeVars, blocks); msg != "" {
+				hazard = msg
+				return false
+			}
+		case *ast.CallExpr:
+			if msg := callHazard(pkg, s); msg != "" {
+				hazard = msg
+				return false
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// assignHazard inspects one assignment inside a map-range body.
+func assignHazard(pkg *Package, rng *ast.RangeStmt, s *ast.AssignStmt, rangeVars map[string]bool, blocks map[ast.Stmt][]ast.Stmt) string {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Compound accumulation into a single (loop-invariant) accumulator
+		// is order-sensitive for floats (rounding) and strings
+		// (concatenation order).  Per-key sinks (m[k] += v) are fine, as
+		// are integer sums, which are associative and commutative.
+		lhs := s.Lhs[0]
+		if _, indexed := lhs.(*ast.IndexExpr); indexed {
+			return ""
+		}
+		if pkg.Info == nil {
+			return ""
+		}
+		t := pkg.Info.TypeOf(lhs)
+		if t == nil {
+			return ""
+		}
+		switch b, ok := t.Underlying().(*types.Basic); {
+		case ok && b.Info()&types.IsFloat != 0:
+			return "accumulates floating-point values whose rounding depends on order"
+		case ok && b.Info()&types.IsString != 0:
+			return "concatenates strings in iteration order"
+		}
+		return ""
+	}
+	// x = append(x, ...) — flag unless it only collects the range
+	// variables and the collected slice is sorted later in the same block.
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(s.Lhs) != 1 {
+		return ""
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || len(call.Args) < 2 {
+		return ""
+	}
+	if !onlyRangeVars(call.Args[1:], rangeVars) {
+		return "appends derived values to a slice in iteration order"
+	}
+	target, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "appends the keys to a non-local target; sort it before use"
+	}
+	if !sortFollows(rng, target.Name, blocks) {
+		return "collects the keys but never sorts them in this block"
+	}
+	return ""
+}
+
+// onlyRangeVars reports whether every expression is built purely from the
+// range variables: a bare range var, an address-of, or a composite literal
+// whose elements are themselves range-var expressions.
+func onlyRangeVars(exprs []ast.Expr, rangeVars map[string]bool) bool {
+	for _, e := range exprs {
+		if !rangeVarExpr(e, rangeVars) {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeVarExpr(e ast.Expr, rangeVars map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return rangeVars[v.Name]
+	case *ast.UnaryExpr:
+		return v.Op == token.AND && rangeVarExpr(v.X, rangeVars)
+	case *ast.CompositeLit:
+		return onlyRangeVars(v.Elts, rangeVars)
+	case *ast.KeyValueExpr:
+		return rangeVarExpr(v.Value, rangeVars)
+	case *ast.CallExpr:
+		// A type conversion of a range var (string(k), Phase(k)) still
+		// carries only key material.
+		return len(v.Args) == 1 && rangeVarExpr(v.Args[0], rangeVars)
+	}
+	return false
+}
+
+// sortFollows reports whether a statement after rng in its enclosing
+// statement list calls into sort/slices (sort.Strings, slices.Sort,
+// sort.Slice, ...) mentioning the named slice.
+func sortFollows(rng ast.Stmt, name string, blocks map[ast.Stmt][]ast.Stmt) bool {
+	rest, ok := blocks[rng]
+	if !ok {
+		return false
+	}
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsIdent(arg, name) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsIdent reports whether the expression tree contains an identifier
+// with the given name.
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callHazard flags output-sink calls inside a map-range body.
+func callHazard(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok && identIsPackage(pkg, id, "fmt") {
+		if fmtPrintNames[name] {
+			return "writes formatted output (fmt." + name + ") in iteration order"
+		}
+		return ""
+	}
+	if outputCallNames[name] {
+		return "writes to a builder/stream/hash (" + name + ") in iteration order"
+	}
+	return ""
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// MDLinks is the markdown link checker the old docs_links_test.go
+// enforced, folded into the analyzer framework: every relative link in the
+// repository's markdown files — README.md, the docs/ tree, the example
+// READMEs — must point at a file or directory that exists, so the
+// documentation tree cannot rot silently as the code moves.  External
+// (http/https/mailto) links are not fetched; this lint is about
+// intra-repository integrity.
+var MDLinks = &Analyzer{
+	Name: "mdlinks",
+	Doc:  "relative markdown links must resolve to files that exist",
+	Run:  runMDLinks,
+}
+
+// inlineLink matches [text](target) including image links; target may
+// carry an optional title, which is stripped below.
+var inlineLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func runMDLinks(ctx *Context) {
+	for _, file := range MarkdownFiles(ctx.Root) {
+		content, err := os.ReadFile(file)
+		if err != nil {
+			ctx.ReportFile(file, 1, "unreadable markdown file: %v", err)
+			continue
+		}
+		for i, line := range strings.Split(string(content), "\n") {
+			for _, match := range inlineLink.FindAllStringSubmatch(line, -1) {
+				target := match[1]
+				switch {
+				case strings.HasPrefix(target, "http://"),
+					strings.HasPrefix(target, "https://"),
+					strings.HasPrefix(target, "mailto:"):
+					continue // external; not this lint's business
+				case strings.HasPrefix(target, "#"):
+					continue // intra-document anchor
+				}
+				// Strip an anchor suffix from a file link (docs/FOO.md#sec).
+				stripped := target
+				if j := strings.IndexByte(stripped, '#'); j >= 0 {
+					stripped = stripped[:j]
+				}
+				if stripped == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(stripped))
+				if _, err := os.Stat(resolved); err != nil {
+					ctx.ReportFile(file, i+1, "broken relative link %q (resolved to %s)", target, ctx.relFile(resolved))
+				}
+			}
+		}
+	}
+}
+
+// MarkdownFiles returns every markdown file under root the lint covers,
+// skipping hidden trees and lint fixtures.  Exported so the repository
+// self-run test can assert the checker is still wired to a non-empty doc
+// tree.
+func MarkdownFiles(root string) []string {
+	var files []string
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDoc is the godoc discipline the old doclint_test.go enforced, folded
+// into the analyzer framework: every package under internal/ must carry a
+// package-level doc comment, and every exported symbol of the facade
+// package at the module root must carry a doc comment (functions, methods
+// on exported types, and the individual specs of const/var/type groups —
+// a spec inside a documented group is fine).
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "internal packages need package docs; facade exports need doc comments",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(ctx *Context) {
+	for _, pkg := range ctx.Packages {
+		switch {
+		case strings.HasPrefix(pkg.Rel, "internal/"):
+			if !hasPackageDoc(pkg) {
+				ctx.Reportf(pkg.Files[0].Name.Pos(), "package %s has no package-level doc comment", pkg.Name)
+			}
+		case pkg.Rel == "." && pkg.Name != "main":
+			if !hasPackageDoc(pkg) {
+				ctx.Reportf(pkg.Files[0].Name.Pos(), "package %s has no package-level doc comment", pkg.Name)
+			}
+			for _, f := range pkg.Files {
+				checkExportedDocs(ctx, f)
+			}
+		}
+	}
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// non-empty package doc comment.
+func hasPackageDoc(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExportedDocs reports every exported symbol in f lacking a doc
+// comment.
+func checkExportedDocs(ctx *Context, f *ast.File) {
+	hasDoc := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g != nil && strings.TrimSpace(g.Text()) != "" {
+				return true
+			}
+		}
+		return false
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if !hasDoc(d.Doc) {
+				ctx.Reportf(d.Pos(), "exported %s has no doc comment", describeFunc(d))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !hasDoc(s.Doc, d.Doc) {
+						ctx.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && !hasDoc(s.Doc, s.Comment, d.Doc) {
+							ctx.Reportf(name.Pos(), "exported symbol %s has no doc comment", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// describeFunc labels a function or method for a diagnostic.
+func describeFunc(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	return "method " + d.Name.Name
+}

@@ -1,0 +1,33 @@
+// Package a exercises the atomicmix analyzer: once a field is touched via
+// sync/atomic anywhere, every access must be atomic.
+package a
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to hits; safe stays disciplined.
+type Counter struct {
+	hits int64
+	safe int64
+}
+
+// Inc adds to both counters atomically.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+// Read races Inc: a plain load of an atomically-written field.
+func (c *Counter) Read() int64 {
+	return c.hits // want "accessed via sync/atomic elsewhere"
+}
+
+// SafeRead keeps the atomic discipline.
+func (c *Counter) SafeRead() int64 {
+	return atomic.LoadInt64(&c.safe)
+}
+
+// SuppressedRead documents why a plain read is safe at this call site.
+func (c *Counter) SuppressedRead() int64 {
+	//lint:allow atomicmix fixture: reader runs after all writer goroutines joined
+	return c.hits
+}

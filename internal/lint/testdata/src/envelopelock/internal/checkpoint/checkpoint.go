@@ -1,0 +1,35 @@
+// Package checkpoint is a fixture replicating the real on-disk envelope
+// exactly; the pinned fingerprint must accept it unchanged.
+package checkpoint
+
+// Stream mirrors the real named-RNG-stream record.
+type Stream struct {
+	Name  string
+	State [4]uint64
+}
+
+// envelope replicates the real gob-encoded representation field for field.
+type envelope struct {
+	Version     int
+	Generation  int
+	Seed        uint64
+	MemorySteps int
+	Game        string
+	Payoff      [4]float64
+	UpdateRule  string
+	Topology    string
+	Label       string
+	Strategies  [][]byte
+	Resume      bool
+	Engine      string
+	Streams     []Stream
+	PCEvents    int
+	Adoptions   int
+	Mutations   int
+	GamesPlayed int64
+}
+
+const formatVersion = 4
+
+// keep the declarations referenced so the fixture type-checks cleanly.
+var _ = envelope{Version: formatVersion}

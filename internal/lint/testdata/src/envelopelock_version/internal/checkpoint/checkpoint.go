@@ -1,0 +1,13 @@
+// Package checkpoint is a fixture whose format version moved past the
+// pin; the analyzer demands a deliberate pin update.
+package checkpoint
+
+// envelope's shape is irrelevant here: the version gate fires first.
+type envelope struct {
+	Version int
+}
+
+const formatVersion = 5 // want "update pinnedEnvelopeVersion"
+
+// keep the declarations referenced so the fixture type-checks cleanly.
+var _ = envelope{Version: formatVersion}

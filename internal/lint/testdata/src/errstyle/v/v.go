@@ -1,0 +1,48 @@
+// Package v exercises the errstyle analyzer: validation errors must name
+// the offending field, flag or parameter.
+package v
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config is a fixture configuration with two knobs.
+type Config struct {
+	Workers int
+	Rounds  int
+}
+
+// validate checks the fixture config.
+func (c Config) validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("v: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.Rounds < 0 {
+		return errors.New("v: something went wrong") // want "does not name the offending field"
+	}
+	if c.Rounds > 100 {
+		//lint:allow errstyle fixture: the field name would leak internals here
+		return errors.New("v: out of range")
+	}
+	return nil
+}
+
+// checkLimit validates a bare parameter; wrapping with %w passes.
+func checkLimit(limit int, err error) error {
+	if err != nil {
+		return fmt.Errorf("v: limit: %w", err)
+	}
+	if limit < 0 {
+		return fmt.Errorf("v: limit must be non-negative, got %d", limit)
+	}
+	return nil
+}
+
+// Build is not a validation function; generic messages are fine here.
+func Build() error {
+	return errors.New("v: build failed")
+}
+
+// keep the unexported helpers referenced so the fixture type-checks.
+var _ = checkLimit

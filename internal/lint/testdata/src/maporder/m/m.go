@@ -1,0 +1,133 @@
+// Package m exercises the maporder analyzer: map-range bodies feeding
+// slices, output sinks or order-sensitive accumulators are errors unless
+// the keys are sorted first.
+package m
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend appends derived values in iteration order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "appends derived values"
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// BadPrint writes formatted output in iteration order.
+func BadPrint(m map[string]int) {
+	for k := range m { // want "writes formatted output"
+		fmt.Println(k)
+	}
+}
+
+// BadBuilder writes to a strings.Builder in iteration order.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "writes to a builder"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// BadFloat folds floats into one accumulator; rounding depends on order.
+func BadFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "accumulates floating-point"
+		total += v
+	}
+	return total
+}
+
+// BadConcat concatenates strings in iteration order.
+func BadConcat(m map[string]string) string {
+	s := ""
+	for k := range m { // want "concatenates strings"
+		s += k
+	}
+	return s
+}
+
+// BadCollect collects the keys but never sorts them in this block.
+func BadCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "collects the keys but never sorts"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodCollect is the blessed collect-then-sort idiom.
+func GoodCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodCollectPairs collects key/value composites, then sorts them.
+func GoodCollectPairs(m map[string]int) []struct {
+	K string
+	V int
+} {
+	pairs := make([]struct {
+		K string
+		V int
+	}, 0, len(m))
+	for k, v := range m {
+		pairs = append(pairs, struct {
+			K string
+			V int
+		}{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].K < pairs[j].K })
+	return pairs
+}
+
+// GoodIntSum is associative and commutative; order cannot matter.
+func GoodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodPerKey writes to per-key sinks; each key is independent.
+func GoodPerKey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Suppressed documents an intentional unordered dump.
+func Suppressed(m map[string]int) {
+	//lint:allow maporder fixture: order does not matter for this debug dump
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// BadDirective carries a reasonless suppression, which suppresses nothing
+// and is itself a finding.
+func BadDirective(m map[string]int) {
+	// want-next "needs a reason string"
+	//lint:allow maporder
+	for k := range m { // want "writes formatted output"
+		fmt.Println(k)
+	}
+}
+
+// UnknownDirective names an analyzer that does not exist.
+func UnknownDirective() {
+	// want-next "unknown analyzer"
+	//lint:allow frobnicator because reasons
+}

@@ -1,0 +1,25 @@
+// Package facade is the fixture module root; its exported symbols need
+// doc comments.
+package facade
+
+// Documented carries the required comment.
+func Documented() {}
+
+func Undocumented() {} // want "exported func Undocumented has no doc comment"
+
+type Widget struct{} // want "exported type Widget has no doc comment"
+
+// Grouped declarations are covered by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+// want+2 "exported symbol Count has no doc comment"
+
+var Count int
+
+type hidden struct{}
+
+// Render is a method on an unexported type; not part of the surface.
+func (hidden) Render() {}

@@ -1,0 +1,4 @@
+package nodoc // want "has no package-level doc comment"
+
+// X is documented but the package is not.
+func X() {}

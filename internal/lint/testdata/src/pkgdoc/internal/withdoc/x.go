@@ -1,0 +1,6 @@
+// Package withdoc carries the required package-level doc comment.
+package withdoc
+
+// X is exported but lives outside the module root, so only the package
+// doc rule applies here.
+func X() {}

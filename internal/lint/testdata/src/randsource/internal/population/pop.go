@@ -1,0 +1,26 @@
+// Package population is a fixture mimicking a dynamics-relevant package:
+// banned randomness sources and stray wall-clock reads are errors here.
+package population
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand"
+	"math/rand"         // want "import of math/rand"
+	"time"
+)
+
+// Step draws from banned sources and leaks wall-clock state.
+func Step() int64 {
+	buf := make([]byte, 8)
+	crand.Read(buf)
+	n := rand.Int63()
+	n += time.Now().UnixNano() // want "time.Now outside the timing allowlist"
+	return n
+}
+
+// Timed measures a phase with an audited suppression.
+func Timed(fn func()) time.Duration {
+	//lint:allow randsource fixture: wall-clock phase timing that never feeds simulation state
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

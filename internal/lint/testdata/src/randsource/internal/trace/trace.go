@@ -1,0 +1,12 @@
+// Package trace is a fixture standing in for the wall-clock allowlist:
+// timing packages may call time.Now freely.
+package trace
+
+import "time"
+
+// Elapsed runs fn and returns its wall-clock duration.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

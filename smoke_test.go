@@ -44,6 +44,7 @@ var smokeTargets = []struct {
 		"-eval", "cached"}},
 	{"memory_sweep", "./examples/memory_sweep", []string{"-quick"}},
 	{"scaling_study", "./examples/scaling_study", []string{"-quick"}},
+	{"evolint-list", "./cmd/evolint", []string{"-list"}},
 	{"paperkit-list", "./cmd/paperkit", []string{"list"}},
 	{"paperkit-status", "./cmd/paperkit", []string{"status", "-quick"}},
 	// Verify re-renders the committed quick-grid tables from the committed

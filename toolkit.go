@@ -2,6 +2,7 @@ package evogame
 
 import (
 	"fmt"
+	"sort"
 
 	"evogame/internal/analysis"
 	"evogame/internal/game"
@@ -136,11 +137,7 @@ func RunTournament(entrants map[string]string, cfg TournamentConfig) ([]Tourname
 	for name := range entrants {
 		names = append(names, name)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	list := make([]tournament.Entrant, 0, len(names))
 	for _, name := range names {
 		p, err := strategy.ParsePure(mem, entrants[name])
