@@ -331,3 +331,78 @@ func TestBenchArtifactBaselineSchemaAndClaims(t *testing.T) {
 		t.Errorf("delete_one phase executed %d runs, want exactly the deleted one", del.RunsExecuted)
 	}
 }
+
+// benchFaultsDoc mirrors the faults table's envelope
+// (`benchtables -table faults -json`, committed as BENCH_9.json).
+type benchFaultsDoc struct {
+	Table       string `json:"table"`
+	Seed        uint64 `json:"seed"`
+	Ranks       int    `json:"ranks"`
+	SSets       int    `json:"ssets"`
+	Generations int    `json:"generations"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Overhead    struct {
+		BaselineSeconds  float64 `json:"baseline_seconds"`
+		ArmedIdleSeconds float64 `json:"armed_idle_seconds"`
+		OverheadRatio    float64 `json:"overhead_ratio"`
+		Repeats          int     `json:"repeats"`
+	} `json:"overhead"`
+	Recovery []struct {
+		Engine           string  `json:"engine"`
+		Spec             string  `json:"spec"`
+		SegmentEvery     int     `json:"segment_every"`
+		Restarts         int     `json:"restarts"`
+		FaultFreeSeconds float64 `json:"fault_free_seconds"`
+		RecoveredSeconds float64 `json:"recovered_seconds"`
+		RecoverySeconds  float64 `json:"recovery_seconds"`
+	} `json:"recovery"`
+}
+
+// TestBenchFaultsBaselineSchemaAndClaims pins BENCH_9.json, the committed
+// baseline of the faults table.  Like the other baselines it pins schema
+// and claims, not absolute numbers: consulting an armed-but-idle fault
+// injector on every send and fault-point costs at most 2% over the nil
+// injector, and a supervised mid-run crash recovers on both engines with
+// exactly one restart and non-zero recovery accounting.
+func TestBenchFaultsBaselineSchemaAndClaims(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_9.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var doc benchFaultsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_9.json is not valid JSON for the faults-table schema: %v", err)
+	}
+	if doc.Table != "faults" || doc.Ranks < 2 || doc.SSets <= 0 || doc.Generations <= 0 || doc.GoMaxProcs <= 0 {
+		t.Fatalf("baseline header = %+v, want table=faults with positive dimensions", doc)
+	}
+	ov := doc.Overhead
+	if ov.BaselineSeconds <= 0 || ov.ArmedIdleSeconds <= 0 || ov.Repeats < 3 {
+		t.Fatalf("overhead block %+v has non-positive measurements or too few repeats", ov)
+	}
+	if ov.OverheadRatio <= 0 || ov.OverheadRatio > 1.02 {
+		t.Errorf("injector-off overhead ratio = %.4f, claim is <= 1.02 (2%%)", ov.OverheadRatio)
+	}
+	engines := map[string]bool{}
+	for _, row := range doc.Recovery {
+		engines[row.Engine] = true
+		if row.Spec == "" || row.SegmentEvery <= 0 {
+			t.Errorf("recovery row %+v is missing its fault spec or cadence", row)
+		}
+		if row.Restarts != 1 {
+			t.Errorf("recovery row %q: %d restarts, want exactly 1 (one-shot crash)", row.Engine, row.Restarts)
+		}
+		if row.FaultFreeSeconds <= 0 || row.RecoveredSeconds <= 0 || row.RecoverySeconds <= 0 {
+			t.Errorf("recovery row %q has non-positive timings: %+v", row.Engine, row)
+		}
+		if row.RecoverySeconds >= row.RecoveredSeconds {
+			t.Errorf("recovery row %q: recovery accounting %.4fs exceeds the whole run %.4fs",
+				row.Engine, row.RecoverySeconds, row.RecoveredSeconds)
+		}
+	}
+	for _, engine := range []string{"serial", "parallel"} {
+		if !engines[engine] {
+			t.Errorf("baseline is missing the %q recovery row", engine)
+		}
+	}
+}

@@ -49,12 +49,12 @@ type options struct {
 
 func main() {
 	var opts options
-	flag.StringVar(&opts.table, "table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, capacity, scenarios, eval, topology, kernel, batch, ensemble, artifact")
+	flag.StringVar(&opts.table, "table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, capacity, scenarios, eval, topology, kernel, batch, ensemble, artifact, faults")
 	flag.StringVar(&opts.fig, "fig", "", "regenerate one figure: 2, 3, 4, 5, 6a, 6b")
 	flag.BoolVar(&opts.all, "all", false, "regenerate every table and figure")
 	flag.BoolVar(&opts.full, "full", false, "use larger real runs (slower)")
 	flag.BoolVar(&opts.calibrate, "calibrate", false, "measure the game kernel cost before running the performance model")
-	flag.BoolVar(&opts.jsonOut, "json", false, "emit machine-readable JSON instead of a table (supported for -table kernel, batch, ensemble and artifact; BENCH_5.json, BENCH_6.json, BENCH_7.json and BENCH_8.json are their committed baselines)")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit machine-readable JSON instead of a table (supported for -table kernel, batch, ensemble, artifact and faults; BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json and BENCH_9.json are their committed baselines)")
 	seed := flag.Uint64("seed", 2013, "experiment seed")
 	flag.Parse()
 	opts.seed = *seed
@@ -62,8 +62,8 @@ func main() {
 	if !opts.all && opts.table == "" && opts.fig == "" {
 		opts.all = true
 	}
-	if opts.jsonOut && opts.table != "kernel" && opts.table != "batch" && opts.table != "ensemble" && opts.table != "artifact" {
-		fmt.Fprintln(os.Stderr, "benchtables: -json is supported for -table kernel, batch, ensemble and artifact only")
+	if opts.jsonOut && opts.table != "kernel" && opts.table != "batch" && opts.table != "ensemble" && opts.table != "artifact" && opts.table != "faults" {
+		fmt.Fprintln(os.Stderr, "benchtables: -json is supported for -table kernel, batch, ensemble, artifact and faults only")
 		os.Exit(1)
 	}
 	if err := run(opts); err != nil {
@@ -92,6 +92,7 @@ func run(opts options) error {
 		{"table batch", func() error { return tableBatch(opts) }},
 		{"table ensemble", func() error { return tableEnsemble(opts) }},
 		{"table artifact", func() error { return tableArtifact(opts) }},
+		{"table faults", func() error { return tableFaults(opts) }},
 		{"fig 2", func() error { return figure2(opts) }},
 		{"fig 3", func() error { return figure3(opts) }},
 		{"table eval", func() error { return evalModes(opts) }},

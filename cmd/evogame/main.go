@@ -14,6 +14,7 @@
 //	evogame -topology torus:moore -ssets 256 -noise 0 -generations 50000
 //	evogame -topology smallworld:6:0.2 -ssets 512 -eval incremental
 //	evogame -replicates 8 -ensemble-workers 4 -ssets 128 -noise 0 -eval cached
+//	evogame -parallel -ranks 5 -generations 100 -fault-spec crash@40:r1 -max-restarts 3 -segment-every 20
 package main
 
 import (
@@ -63,6 +64,10 @@ func main() {
 		replicates    = flag.Int("replicates", 1, "run this many independent replicates with derived seeds through the ensemble engine (1 = single run)")
 		ensWorkers    = flag.Int("ensemble-workers", 0, "replicates in flight at once (0 = min(replicates, GOMAXPROCS); splits GOMAXPROCS with per-run -workers)")
 		privateCaches = flag.Bool("private-caches", false, "give every replicate its own pair cache instead of sharing one store across the ensemble")
+
+		faultSpec    = flag.String("fault-spec", "", "deterministic fault-injection plan, e.g. crash@40:r1 or drop@10:r2:x3 or rand:3 (see docs/FAULT_TOLERANCE.md; events derive from -seed)")
+		maxRestarts  = flag.Int("max-restarts", 0, "recover transiently-failed runs from checkpoints up to this many times (0 = no recovery; recovered runs are bit-identical to fault-free ones)")
+		segmentEvery = flag.Int("segment-every", 0, "supervisor checkpoint cadence in generations (0 = keep -ckpt-every; only with -max-restarts)")
 	)
 	flag.Parse()
 
@@ -85,6 +90,7 @@ func main() {
 		evalMode: evalMode, game: *gameName, rule: *ruleName, payoff: payoff,
 		topology: *topoName, kernel: *kernelName,
 		replicates: *replicates, ensWorkers: *ensWorkers, privateCaches: *privateCaches,
+		faultSpec: *faultSpec, maxRestarts: *maxRestarts, segmentEvery: *segmentEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "evogame:", err)
 		os.Exit(1)
@@ -132,6 +138,8 @@ type runOptions struct {
 	kernel                      string
 	replicates, ensWorkers      int
 	privateCaches               bool
+	faultSpec                   string
+	maxRestarts, segmentEvery   int
 }
 
 // adoptCheckpointIdentity replaces the identity-bearing options with the
@@ -196,6 +204,7 @@ func run(o runOptions) error {
 			Game:   o.game, Payoff: o.payoff, UpdateRule: o.rule, Topology: o.topology,
 			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 			CheckpointLabel: "evogame CLI run",
+			FaultPlan:       o.faultSpec, MaxRestarts: o.maxRestarts, SegmentEvery: o.segmentEvery,
 		}
 		var res evogame.ParallelResult
 		if o.resumePath != "" {
@@ -213,6 +222,7 @@ func run(o runOptions) error {
 			res.WallClockSeconds, res.ComputeSeconds, res.CommSeconds, res.TotalGames)
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations\n",
 			res.PCEvents, res.Adoptions, res.Mutations)
+		printFaultSummary(res.Metrics)
 		t := stats.NewTable("Rank", "Local SSets", "Games", "Compute (s)", "Comm (s)", "Msgs sent")
 		for _, r := range res.Ranks {
 			t.AddRow(r.Rank, r.LocalSSets, r.GamesPlayed, r.ComputeSeconds, r.CommSeconds, r.MessagesSent)
@@ -228,6 +238,7 @@ func run(o runOptions) error {
 			Topology:       o.topology,
 			CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 			CheckpointLabel: "evogame CLI run",
+			FaultPlan:       o.faultSpec, MaxRestarts: o.maxRestarts, SegmentEvery: o.segmentEvery,
 		}
 		var res evogame.SimulationResult
 		if o.resumePath != "" {
@@ -243,6 +254,7 @@ func run(o runOptions) error {
 			res.Generations, o.ssets, o.agents, o.memory, o.game, o.rule, topo.Canonical, time.Since(start).Seconds())
 		fmt.Printf("events: %d pairwise comparisons, %d adoptions, %d mutations, %d games\n",
 			res.PCEvents, res.Adoptions, res.Mutations, res.GamesPlayed)
+		printFaultSummary(res.Metrics)
 		t := stats.NewTable("Generation", "Distinct", "Top strategy", "Top %", "WSLS %", "ALLD %")
 		for _, s := range res.Samples {
 			t.AddRow(s.Generation, s.DistinctStrategies, s.TopStrategy, 100*s.TopFraction, 100*s.WSLSFraction, 100*s.AllDFraction)
@@ -273,6 +285,16 @@ func run(o runOptions) error {
 	return nil
 }
 
+// printFaultSummary prints the fault-tolerance counters when the run saw
+// any injected faults or supervised recovery; fault-free runs print nothing.
+func printFaultSummary(m evogame.Metrics) {
+	if m.Restarts == 0 && m.RetriedSends == 0 && m.DroppedMessages == 0 && m.DelayedMessages == 0 {
+		return
+	}
+	fmt.Printf("faults: %d supervised restarts, %d retried sends, %d dropped, %d delayed messages (recovery %.3fs)\n",
+		m.Restarts, m.RetriedSends, m.DroppedMessages, m.DelayedMessages, float64(m.RecoveryNanos)/1e9)
+}
+
 // runEnsemble runs -replicates independent replicates through the ensemble
 // engine and prints per-replicate summaries plus the deterministic
 // aggregates (mean ± std cooperation trajectory, merged metrics).
@@ -285,6 +307,9 @@ func runEnsemble(o runOptions) error {
 		Replicates:      o.replicates,
 		EnsembleWorkers: o.ensWorkers,
 		PrivateCaches:   o.privateCaches,
+		FaultPlan:       o.faultSpec,
+		MaxRestarts:     o.maxRestarts,
+		SegmentEvery:    o.segmentEvery,
 	}
 	if o.parallel {
 		ecfg.Parallel = &evogame.ParallelConfig{
@@ -344,5 +369,11 @@ func runEnsemble(o runOptions) error {
 	m := res.Metrics
 	fmt.Printf("\nmerged metrics: %d cache hits, %d misses, %d bypassed, %d games executed\n",
 		m.CacheHits, m.CacheMisses, m.CacheBypassed, m.ScalarGames+m.CycleGames+m.BatchGames)
+	printFaultSummary(m)
+	for k, rerr := range res.Errors {
+		if rerr != nil {
+			fmt.Printf("replicate %d failed permanently: %v\n", k, rerr)
+		}
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"evogame/internal/ensemble"
+	"evogame/internal/faults"
 )
 
 // EnsembleConfig configures RunEnsemble: many independent replicates of one
@@ -38,6 +39,22 @@ type EnsembleConfig struct {
 	// Parallel, when non-nil, runs the replicates on the distributed
 	// engine.
 	Parallel *ParallelConfig
+	// FaultPlan, when non-empty, arms a deterministic fault-injection plan
+	// in every replicate (same spec grammar as SimulationConfig.FaultPlan).
+	// The spec is instantiated per replicate with that replicate's derived
+	// seed, so each replicate injects its own reproducible fault sequence.
+	// Fault injection is ensemble-level here: the engine configs' own
+	// FaultPlan must stay empty (one shared plan would race across
+	// concurrent replicates).
+	FaultPlan string
+	// MaxRestarts, when positive, runs every replicate under the
+	// supervisor: transiently-failed replicates are recovered from their
+	// newest checkpoint segment up to MaxRestarts times before counting as
+	// permanently failed.  Zero disables recovery.
+	MaxRestarts int
+	// SegmentEvery is the supervisor's checkpoint cadence in generations;
+	// only meaningful with MaxRestarts > 0.
+	SegmentEvery int
 }
 
 // EnsembleTrajectoryPoint is one generation of the ensemble-aggregated
@@ -70,12 +87,17 @@ type EnsembleResult struct {
 	// Parallel holds the per-replicate results of a distributed-engine
 	// ensemble (nil for a serial one), indexed by replicate.
 	Parallel []ParallelResult
-	// Trajectory is the mean/std cooperation trajectory over replicates,
-	// one point per sampled generation (serial ensembles; set
+	// Errors[k] is non-nil when replicate k failed permanently (after any
+	// supervised restarts were exhausted); its slot in Serial / Parallel is
+	// then at best partial and is excluded from Trajectory and Metrics.
+	// The slice always has one entry per replicate.
+	Errors []error
+	// Trajectory is the mean/std cooperation trajectory over the completed
+	// replicates, one point per sampled generation (serial ensembles; set
 	// SimulationConfig.SampleEvery for more than the final point).
 	Trajectory []EnsembleTrajectoryPoint
-	// Metrics merges every replicate's flat metrics (counters summed; see
-	// Metrics.Merge).
+	// Metrics merges every completed replicate's flat metrics (counters
+	// summed; see Metrics.Merge).
 	Metrics Metrics
 	// EnsembleWorkers and RunWorkers record the resolved worker budget.
 	EnsembleWorkers int
@@ -92,14 +114,48 @@ type EnsembleResult struct {
 // mixed configurations keep the engines' existing bypass so RNG streams
 // never move.  Checkpointing is per-run and must be disabled in the base
 // configuration.
+//
+// Failure degrades gracefully: a permanently-failed replicate is reported
+// in EnsembleResult.Errors at its index while the other replicates
+// complete and aggregate.  The returned error is the lowest-index failure
+// (nil when all completed) and the partial result is always returned, so
+// callers may inspect Errors and keep the survivors.  With
+// cfg.MaxRestarts > 0 each replicate runs supervised and transient
+// failures are recovered before they count.
 func RunEnsemble(ctx context.Context, cfg EnsembleConfig) (EnsembleResult, error) {
 	if (cfg.Simulation == nil) == (cfg.Parallel == nil) {
 		return EnsembleResult{}, fmt.Errorf("evogame: RunEnsemble needs exactly one of Simulation and Parallel")
+	}
+	if cfg.Simulation != nil && (cfg.Simulation.FaultPlan != "" || cfg.Simulation.MaxRestarts != 0 || cfg.Simulation.SegmentEvery != 0) {
+		return EnsembleResult{}, fmt.Errorf("evogame: RunEnsemble: fault injection and supervision are ensemble-level; set EnsembleConfig.FaultPlan / MaxRestarts / SegmentEvery, not SimulationConfig's")
+	}
+	if cfg.Parallel != nil && (cfg.Parallel.FaultPlan != "" || cfg.Parallel.MaxRestarts != 0 || cfg.Parallel.SegmentEvery != 0) {
+		return EnsembleResult{}, fmt.Errorf("evogame: RunEnsemble: fault injection and supervision are ensemble-level; set EnsembleConfig.FaultPlan / MaxRestarts / SegmentEvery, not ParallelConfig's")
 	}
 	ecfg := ensemble.Config{
 		Replicates:    cfg.Replicates,
 		Workers:       cfg.EnsembleWorkers,
 		PrivateCaches: cfg.PrivateCaches,
+		MaxRestarts:   cfg.MaxRestarts,
+		SegmentEvery:  cfg.SegmentEvery,
+	}
+	if cfg.FaultPlan != "" {
+		spec := cfg.FaultPlan
+		baseSeed, ranks := uint64(0), 1
+		if cfg.Simulation != nil {
+			baseSeed = cfg.Simulation.Seed
+		} else {
+			baseSeed, ranks = cfg.Parallel.Seed, cfg.Parallel.Ranks
+		}
+		// Validate the spec once up front so a bad plan fails the call
+		// instead of every replicate.
+		if _, err := faults.Parse(spec, baseSeed, ranks); err != nil {
+			return EnsembleResult{}, fmt.Errorf("evogame: %w", err)
+		}
+		ecfg.ReplicateFaults = func(k int) *faults.Plan {
+			plan, _ := faults.Parse(spec, ensemble.ReplicateSeed(baseSeed, k), ranks)
+			return plan
+		}
 	}
 	if cfg.Simulation != nil {
 		internal, err := cfg.Simulation.toInternal()
@@ -107,12 +163,14 @@ func RunEnsemble(ctx context.Context, cfg EnsembleConfig) (EnsembleResult, error
 			return EnsembleResult{}, err
 		}
 		res, err := ensemble.RunSerial(ctx, internal, cfg.Simulation.Generations, ecfg)
-		if err != nil {
+		if err != nil && res.Errors == nil {
+			// Configuration error before any replicate ran.
 			return EnsembleResult{}, fmt.Errorf("evogame: %w", err)
 		}
 		out := EnsembleResult{
 			Seeds:            res.Seeds,
 			Serial:           make([]SimulationResult, len(res.Runs)),
+			Errors:           res.Errors,
 			Metrics:          metricsFromInternal(res.Metrics),
 			EnsembleWorkers:  res.EnsembleWorkers,
 			RunWorkers:       res.RunWorkers,
@@ -130,6 +188,9 @@ func RunEnsemble(ctx context.Context, cfg EnsembleConfig) (EnsembleResult, error
 				WSLSStd:         p.WSLSStd,
 			})
 		}
+		if err != nil {
+			return out, fmt.Errorf("evogame: %w", err)
+		}
 		return out, nil
 	}
 	internal, err := cfg.Parallel.toInternal()
@@ -137,12 +198,13 @@ func RunEnsemble(ctx context.Context, cfg EnsembleConfig) (EnsembleResult, error
 		return EnsembleResult{}, err
 	}
 	res, err := ensemble.RunParallel(internal, ecfg)
-	if err != nil {
+	if err != nil && res.Errors == nil {
 		return EnsembleResult{}, fmt.Errorf("evogame: %w", err)
 	}
 	out := EnsembleResult{
 		Seeds:            res.Seeds,
 		Parallel:         make([]ParallelResult, len(res.Runs)),
+		Errors:           res.Errors,
 		Metrics:          metricsFromInternal(res.Metrics),
 		EnsembleWorkers:  res.EnsembleWorkers,
 		RunWorkers:       res.RunWorkers,
@@ -150,6 +212,9 @@ func RunEnsemble(ctx context.Context, cfg EnsembleConfig) (EnsembleResult, error
 	}
 	for k, r := range res.Runs {
 		out.Parallel[k] = parallelResultFromInternal(r)
+	}
+	if err != nil {
+		return out, fmt.Errorf("evogame: %w", err)
 	}
 	return out, nil
 }

@@ -32,16 +32,19 @@ package evogame
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"evogame/internal/artifact"
 	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
+	"evogame/internal/faults"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/kmeans"
 	"evogame/internal/parallel"
 	"evogame/internal/population"
 	"evogame/internal/strategy"
+	"evogame/internal/supervise"
 	"evogame/internal/topology"
 )
 
@@ -300,6 +303,22 @@ type SimulationConfig struct {
 	CheckpointEvery int
 	// CheckpointLabel is free-form metadata recorded in the checkpoint.
 	CheckpointLabel string
+	// FaultPlan, when non-empty, arms a deterministic fault-injection plan
+	// in the spec grammar of docs/FAULT_TOLERANCE.md — for example
+	// "crash@40:r0" (rank 0 dies at generation 40) or "rand:3" (three
+	// seed-derived events).  A given (plan, seed) pair replays identically.
+	// The serial engine is the fault model's rank 0, so only crash events
+	// targeting rank 0 apply here; drops and delays never fire.
+	FaultPlan string
+	// MaxRestarts, when positive, runs the simulation under the supervisor:
+	// a transient failure (an injected fault) is recovered from the newest
+	// checkpoint segment up to MaxRestarts times, and the recovered run is
+	// bit-identical to a fault-free one.  Zero disables recovery — the
+	// first failure is final.
+	MaxRestarts int
+	// SegmentEvery is the supervisor's checkpoint cadence in generations;
+	// zero keeps CheckpointEvery.  Only meaningful with MaxRestarts > 0.
+	SegmentEvery int
 }
 
 // Sample is one abundance observation of the population.
@@ -333,8 +352,9 @@ type SimulationResult struct {
 
 // Metrics is the flat per-run observability export shared by both engines:
 // pair-cache traffic, the kernel-mode game mix (scalar, cycle-closing and
-// bit-sliced batch) and the evolutionary event counts.  For the parallel
-// engine the cache and kernel counters are summed over the SSet ranks.
+// bit-sliced batch), the evolutionary event counts and the fault-tolerance
+// counters.  For the parallel engine the cache and kernel counters are
+// summed over the SSet ranks.
 type Metrics struct {
 	// Generations is the number of generations the counters cover.
 	Generations int
@@ -357,6 +377,16 @@ type Metrics struct {
 	PCEvents  int
 	Adoptions int
 	Mutations int
+	// Restarts, RetriedSends, DroppedMessages, DelayedMessages and
+	// RecoveryNanos are the fault-tolerance counters: supervised relaunches
+	// from a checkpoint, injected-fault send retries/drops/delays summed
+	// over ranks, and the supervisor's recovery wall time.  All zero on a
+	// fault-free run.
+	Restarts        int
+	RetriedSends    int64
+	DroppedMessages int64
+	DelayedMessages int64
+	RecoveryNanos   int64
 }
 
 // BatchLaneOccupancy returns the mean fraction of the 64 SWAR lanes filled
@@ -393,6 +423,12 @@ func (m Metrics) toInternal() fitness.Metrics {
 		PCEvents:      m.PCEvents,
 		Adoptions:     m.Adoptions,
 		Mutations:     m.Mutations,
+
+		Restarts:        m.Restarts,
+		RetriedSends:    m.RetriedSends,
+		DroppedMessages: m.DroppedMessages,
+		DelayedMessages: m.DelayedMessages,
+		RecoveryNanos:   m.RecoveryNanos,
 	}
 }
 
@@ -411,6 +447,12 @@ func metricsFromInternal(m fitness.Metrics) Metrics {
 		PCEvents:      m.PCEvents,
 		Adoptions:     m.Adoptions,
 		Mutations:     m.Mutations,
+
+		Restarts:        m.Restarts,
+		RetriedSends:    m.RetriedSends,
+		DroppedMessages: m.DroppedMessages,
+		DelayedMessages: m.DelayedMessages,
+		RecoveryNanos:   m.RecoveryNanos,
 	}
 }
 
@@ -473,6 +515,14 @@ func (c SimulationConfig) toInternal() (population.Config, error) {
 		}
 		cfg.InitialStrategies = strats
 	}
+	if c.FaultPlan != "" {
+		// The serial engine is the fault model's single rank (rank 0).
+		plan, err := faults.Parse(c.FaultPlan, c.Seed, 1)
+		if err != nil {
+			return population.Config{}, fmt.Errorf("evogame: %w", err)
+		}
+		cfg.Faults = plan
+	}
 	return cfg, nil
 }
 
@@ -496,11 +546,22 @@ func renderStrategies(strats []strategy.Strategy) []string {
 	return out
 }
 
-// Simulate runs the serial reference engine.
+// Simulate runs the serial reference engine.  With cfg.MaxRestarts > 0 it
+// runs under the supervisor (see SimulationConfig.MaxRestarts): transient
+// failures are recovered from checkpoints and the result is bit-identical
+// to a fault-free run, with the recovery effort reported in Metrics.
 func Simulate(ctx context.Context, cfg SimulationConfig) (SimulationResult, error) {
 	internal, err := cfg.toInternal()
 	if err != nil {
 		return SimulationResult{}, err
+	}
+	if cfg.MaxRestarts > 0 {
+		pol := supervise.Policy{MaxRestarts: cfg.MaxRestarts, SegmentEvery: cfg.SegmentEvery}
+		res, _, err := supervise.RunSerial(ctx, internal, cfg.Generations, pol)
+		if err != nil {
+			return SimulationResult{}, err
+		}
+		return serialResultFromInternal(res), nil
 	}
 	model, err := population.New(internal)
 	if err != nil {
@@ -629,6 +690,27 @@ type ParallelConfig struct {
 	CheckpointPath  string
 	CheckpointEvery int
 	CheckpointLabel string
+	// FaultPlan, when non-empty, arms a deterministic fault-injection plan
+	// in the spec grammar of docs/FAULT_TOLERANCE.md — crashes, message
+	// drops and message delays at chosen (generation, rank) points, for
+	// example "crash@40:r1,drop@10:r2:x3".  Events are derived from Seed,
+	// so a given (plan, seed) pair replays identically.
+	FaultPlan string
+	// MaxRestarts, when positive, runs the simulation under the
+	// supervisor: transient failures (injected faults, dead ranks, expired
+	// communication deadlines) are recovered from the newest checkpoint
+	// segment up to MaxRestarts times, and the recovered run is
+	// bit-identical to a fault-free one.  Zero disables recovery.
+	MaxRestarts int
+	// SegmentEvery is the supervisor's checkpoint cadence in generations;
+	// zero keeps CheckpointEvery.  Only meaningful with MaxRestarts > 0.
+	SegmentEvery int
+	// CommDeadlineSeconds bounds every blocking receive in the
+	// message-passing fabric: a rank blocked longer fails with a deadline
+	// error instead of hanging (zero means no deadline).  Dead peers are
+	// detected and propagated regardless, so this is a backstop against
+	// silent stalls, not the primary failure detector.
+	CommDeadlineSeconds float64
 }
 
 // RankSummary reports one rank's work and communication.
@@ -720,14 +802,36 @@ func (c ParallelConfig) toInternal() (parallel.Config, error) {
 		}
 		internal.InitialStrategies = strats
 	}
+	if c.CommDeadlineSeconds < 0 {
+		return parallel.Config{}, fmt.Errorf("evogame: CommDeadlineSeconds must be non-negative, got %v", c.CommDeadlineSeconds)
+	}
+	internal.CommDeadline = time.Duration(c.CommDeadlineSeconds * float64(time.Second))
+	if c.FaultPlan != "" {
+		plan, err := faults.Parse(c.FaultPlan, c.Seed, c.Ranks)
+		if err != nil {
+			return parallel.Config{}, fmt.Errorf("evogame: %w", err)
+		}
+		internal.Faults = plan
+	}
 	return internal, nil
 }
 
-// SimulateParallel runs the distributed engine.
+// SimulateParallel runs the distributed engine.  With cfg.MaxRestarts > 0
+// it runs under the supervisor (see ParallelConfig.MaxRestarts): transient
+// failures are recovered from checkpoints and the result is bit-identical
+// to a fault-free run, with the recovery effort reported in Metrics.
 func SimulateParallel(cfg ParallelConfig) (ParallelResult, error) {
 	internal, err := cfg.toInternal()
 	if err != nil {
 		return ParallelResult{}, err
+	}
+	if cfg.MaxRestarts > 0 {
+		pol := supervise.Policy{MaxRestarts: cfg.MaxRestarts, SegmentEvery: cfg.SegmentEvery}
+		res, _, err := supervise.RunParallel(internal, pol)
+		if err != nil {
+			return ParallelResult{}, err
+		}
+		return parallelResultFromInternal(res), nil
 	}
 	return runParallel(internal)
 }

@@ -1,0 +1,269 @@
+package evogame
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSimulateFaultPlanRecovery pins the facade wiring of the
+// fault-tolerant tier on the serial engine: an injected crash recovers
+// under the supervisor and the result is bit-identical to the fault-free
+// run, with the recovery visible only in the fault counters.
+func TestSimulateFaultPlanRecovery(t *testing.T) {
+	base := SimulationConfig{
+		NumSSets:      16,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        50,
+		PCRate:        1,
+		MutationRate:  0.2,
+		Beta:          1,
+		Generations:   40,
+		Seed:          7,
+		SampleEvery:   10,
+	}
+	golden, err := Simulate(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.FaultPlan = "crash@15:r0"
+	faulty.MaxRestarts = 2
+	faulty.SegmentEvery = 8
+	res, err := Simulate(context.Background(), faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Restarts != 1 {
+		t.Fatalf("Metrics.Restarts = %d, want 1", res.Metrics.Restarts)
+	}
+	if res.Metrics.RecoveryNanos <= 0 {
+		t.Fatalf("Metrics.RecoveryNanos = %d after a restart", res.Metrics.RecoveryNanos)
+	}
+	for i := range golden.FinalStrategies {
+		if golden.FinalStrategies[i] != res.FinalStrategies[i] {
+			t.Fatalf("strategy %d diverged after recovery", i)
+		}
+	}
+	if golden.PCEvents != res.PCEvents || golden.Adoptions != res.Adoptions || golden.Mutations != res.Mutations {
+		t.Fatal("event counts diverged after recovery")
+	}
+	if len(golden.Samples) != len(res.Samples) {
+		t.Fatalf("sample counts diverged: %d vs %d", len(golden.Samples), len(res.Samples))
+	}
+	for i := range golden.Samples {
+		if golden.Samples[i] != res.Samples[i] {
+			t.Fatalf("sample %d diverged after recovery", i)
+		}
+	}
+}
+
+// TestSimulateParallelFaultPlanRecovery mirrors the recovery pin on the
+// distributed engine, crashing an SSet rank mid-run.
+func TestSimulateParallelFaultPlanRecovery(t *testing.T) {
+	base := ParallelConfig{
+		Ranks:         4,
+		NumSSets:      12,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        50,
+		PCRate:        1,
+		MutationRate:  0.2,
+		Beta:          1,
+		Generations:   40,
+		Seed:          11,
+	}
+	golden, err := SimulateParallel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.FaultPlan = "crash@17:r2"
+	faulty.MaxRestarts = 3
+	faulty.SegmentEvery = 8
+	res, err := SimulateParallel(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Restarts != 1 {
+		t.Fatalf("Metrics.Restarts = %d, want 1", res.Metrics.Restarts)
+	}
+	for i := range golden.FinalStrategies {
+		if golden.FinalStrategies[i] != res.FinalStrategies[i] {
+			t.Fatalf("strategy %d diverged after recovery", i)
+		}
+	}
+	if golden.PCEvents != res.PCEvents || golden.Adoptions != res.Adoptions || golden.Mutations != res.Mutations {
+		t.Fatal("event counts diverged after recovery")
+	}
+}
+
+// TestSimulateParallelTransientDropsAreCounted pins the retry path: a
+// bounded drop burst below the send-retry budget never surfaces as an
+// error, only as counters, and the result is untouched.
+func TestSimulateParallelTransientDropsAreCounted(t *testing.T) {
+	base := ParallelConfig{
+		Ranks:         4,
+		NumSSets:      12,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        50,
+		PCRate:        1,
+		MutationRate:  0.2,
+		Beta:          1,
+		Generations:   30,
+		Seed:          11,
+	}
+	golden, err := SimulateParallel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.FaultPlan = "drop@10:r1:x3"
+	res, err := SimulateParallel(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Restarts != 0 {
+		t.Fatalf("Restarts = %d for a retry-recoverable drop", res.Metrics.Restarts)
+	}
+	if res.Metrics.DroppedMessages != 3 || res.Metrics.RetriedSends != 3 {
+		t.Fatalf("counters = %d dropped / %d retried, want 3 / 3",
+			res.Metrics.DroppedMessages, res.Metrics.RetriedSends)
+	}
+	for i := range golden.FinalStrategies {
+		if golden.FinalStrategies[i] != res.FinalStrategies[i] {
+			t.Fatalf("strategy %d diverged under transient drops", i)
+		}
+	}
+}
+
+// TestFaultPlanValidation covers the facade's fault-spec error paths.
+func TestFaultPlanValidation(t *testing.T) {
+	base := SimulationConfig{
+		NumSSets: 4, AgentsPerSSet: 1, MemorySteps: 1, Generations: 5,
+	}
+	bad := base
+	bad.FaultPlan = "boom@1:r0"
+	if _, err := Simulate(context.Background(), bad); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	// The serial engine is rank 0 of a one-rank world: r1 is out of range.
+	bad = base
+	bad.FaultPlan = "crash@1:r1"
+	if _, err := Simulate(context.Background(), bad); err == nil {
+		t.Fatal("out-of-range serial rank accepted")
+	}
+	pbad := ParallelConfig{
+		Ranks: 3, NumSSets: 6, AgentsPerSSet: 1, MemorySteps: 1, Generations: 5,
+		FaultPlan: "crash@1:r3",
+	}
+	if _, err := SimulateParallel(pbad); err == nil {
+		t.Fatal("out-of-range parallel rank accepted")
+	}
+	pbad.FaultPlan = ""
+	pbad.CommDeadlineSeconds = -1
+	if _, err := SimulateParallel(pbad); err == nil {
+		t.Fatal("negative CommDeadlineSeconds accepted")
+	}
+}
+
+// TestEnsembleFaultPlanDegradation pins the facade's ensemble-level
+// degradation: a permanent per-replicate fault surfaces in Errors while
+// the survivors complete, and engine-level fault knobs are rejected.
+func TestEnsembleFaultPlanDegradation(t *testing.T) {
+	sim := SimulationConfig{
+		NumSSets:      16,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        20,
+		PCRate:        1,
+		MutationRate:  0.25,
+		Beta:          1,
+		Generations:   20,
+		Seed:          7,
+	}
+	// Engine-level knobs are ensemble-level here.
+	bad := sim
+	bad.FaultPlan = "crash@1:r0"
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{Replicates: 2, Simulation: &bad}); err == nil {
+		t.Fatal("engine-level FaultPlan accepted inside an ensemble")
+	}
+	bad = sim
+	bad.MaxRestarts = 1
+	if _, err := RunEnsemble(context.Background(), EnsembleConfig{Replicates: 2, Simulation: &bad}); err == nil {
+		t.Fatal("engine-level MaxRestarts accepted inside an ensemble")
+	}
+	// A permanent crash in every replicate with supervision disabled: all
+	// replicates fail, the partial result still has one error per slot.
+	res, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates: 3,
+		Simulation: &sim,
+		FaultPlan:  "crash@5:r0:x*",
+	})
+	if err == nil {
+		t.Fatal("all-replicates-crashed ensemble returned nil error")
+	}
+	if !strings.Contains(err.Error(), "replicate 0") {
+		t.Fatalf("error %q does not report the lowest-index failure", err)
+	}
+	if len(res.Errors) != 3 {
+		t.Fatalf("Errors has %d slots, want 3", len(res.Errors))
+	}
+	for k, rerr := range res.Errors {
+		if rerr == nil {
+			t.Fatalf("Errors[%d] = nil for a crashed replicate", k)
+		}
+	}
+}
+
+// TestEnsembleFaultPlanSupervisedRecovery pins the happy path: with
+// supervision enabled, per-replicate one-shot crashes all recover and the
+// ensemble matches its fault-free twin bit-identically.
+func TestEnsembleFaultPlanSupervisedRecovery(t *testing.T) {
+	sim := SimulationConfig{
+		NumSSets:      16,
+		AgentsPerSSet: 2,
+		MemorySteps:   1,
+		Rounds:        20,
+		PCRate:        1,
+		MutationRate:  0.25,
+		Beta:          1,
+		Generations:   30,
+		Seed:          7,
+	}
+	golden, err := RunEnsemble(context.Background(), EnsembleConfig{Replicates: 3, Simulation: &sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEnsemble(context.Background(), EnsembleConfig{
+		Replicates:   3,
+		Simulation:   &sim,
+		FaultPlan:    "crash@11:r0",
+		MaxRestarts:  2,
+		SegmentEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, rerr := range res.Errors {
+		if rerr != nil {
+			t.Fatalf("replicate %d failed permanently: %v", k, rerr)
+		}
+	}
+	if res.Metrics.Restarts != 3 {
+		t.Fatalf("merged Restarts = %d, want 3 (one per replicate)", res.Metrics.Restarts)
+	}
+	for k := range res.Serial {
+		g, r := golden.Serial[k], res.Serial[k]
+		for i := range g.FinalStrategies {
+			if g.FinalStrategies[i] != r.FinalStrategies[i] {
+				t.Fatalf("replicate %d strategy %d diverged after recovery", k, i)
+			}
+		}
+		if g.PCEvents != r.PCEvents || g.Adoptions != r.Adoptions || g.Mutations != r.Mutations {
+			t.Fatalf("replicate %d event counts diverged after recovery", k)
+		}
+	}
+}

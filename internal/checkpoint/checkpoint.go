@@ -435,6 +435,30 @@ func Save(path string, s Snapshot) error {
 	return nil
 }
 
+// RemoveStaleTemps deletes leftover "<path>.tmp-*" files that a crash
+// between Save's temporary write and its rename can strand next to the
+// checkpoint.  Supervised recovery calls it before every relaunch so an
+// injected mid-Save crash cannot accumulate partial artifacts; it never
+// touches the checkpoint itself, so the newest complete snapshot always
+// survives.  It returns the paths removed.
+func RemoveStaleTemps(path string) ([]string, error) {
+	matches, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: globbing stale temporaries of %s: %w", path, err)
+	}
+	var removed []string
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return removed, fmt.Errorf("checkpoint: removing stale temporary %s: %w", m, err)
+		}
+		removed = append(removed, m)
+	}
+	return removed, nil
+}
+
 // Load reads a snapshot from the given path.
 func Load(path string) (Snapshot, error) {
 	f, err := os.Open(path)

@@ -542,3 +542,52 @@ func TestMixedStrategiesRoundTrip(t *testing.T) {
 		t.Fatal("mixed strategy did not round trip")
 	}
 }
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an injected crash striking between Save's temp-file write
+	// and its rename: stranded partial envelopes next to the checkpoint.
+	stale1 := path + ".tmp-123456"
+	stale2 := path + ".tmp-crashed"
+	for _, p := range []string{stale1, stale2} {
+		if err := os.WriteFile(p, []byte("partial envelope"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated sibling file must survive the sweep.
+	other := filepath.Join(dir, "other.ckpt.tmp-1")
+	if err := os.WriteFile(other, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := RemoveStaleTemps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the 2 stale temporaries", removed)
+	}
+	for _, p := range []string{stale1, stale2} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale temporary %s still present", p)
+		}
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Errorf("unrelated file was removed: %v", err)
+	}
+	// The checkpoint itself is untouched and still loads.
+	if _, err := Load(path); err != nil {
+		t.Errorf("checkpoint no longer loads after sweep: %v", err)
+	}
+	// A second sweep (and a sweep against a path with no checkpoint at
+	// all) is a clean no-op.
+	if removed, err := RemoveStaleTemps(path); err != nil || len(removed) != 0 {
+		t.Errorf("second sweep = (%v, %v), want empty", removed, err)
+	}
+	if removed, err := RemoveStaleTemps(filepath.Join(dir, "absent.ckpt")); err != nil || len(removed) != 0 {
+		t.Errorf("sweep of absent checkpoint = (%v, %v), want empty", removed, err)
+	}
+}

@@ -30,11 +30,13 @@ import (
 	"sync"
 	"time"
 
+	"evogame/internal/faults"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/parallel"
 	"evogame/internal/population"
 	"evogame/internal/stats"
+	"evogame/internal/supervise"
 )
 
 // Config controls the ensemble tier: how many replicates to run and how
@@ -69,12 +71,25 @@ type Config struct {
 	// returns true.  Seeds are still derived by index, so the replicates
 	// that do run are bit-identical to a full ensemble (cross-run cache
 	// sharing only changes which lookups hit).  Skipped slots are left as
-	// zero values in Runs, contribute nothing to the merged metrics, and
-	// collapse the aggregated trajectory (a skipped run has no samples), so
-	// aggregate consumers should either skip nothing or aggregate
-	// externally — the artifact collector reads the per-replicate
-	// checkpoints instead.
+	// zero values in Runs and contribute nothing to the merged metrics or
+	// the aggregated trajectory (both fold over completed replicates only).
 	Skip func(k int) bool
+	// MaxRestarts, when positive, runs every replicate under the
+	// supervisor (internal/supervise): a replicate that fails transiently
+	// — an injected fault, a dead rank, an expired communication deadline —
+	// is relaunched from its newest checkpoint segment up to MaxRestarts
+	// times before being declared permanently failed.  Zero disables
+	// supervision: the first failure of a replicate is final.
+	MaxRestarts int
+	// SegmentEvery is the supervisor's checkpoint cadence in generations
+	// (supervise.Policy.SegmentEvery); it only matters when MaxRestarts is
+	// positive.
+	SegmentEvery int
+	// ReplicateFaults, when non-nil, installs the returned fault plan in
+	// replicate k (nil plans inject nothing).  Plans must be per-replicate:
+	// a faults.Plan consumes its events as they fire, so sharing one plan
+	// across concurrent replicates would race on the arming state.
+	ReplicateFaults func(k int) *faults.Plan
 }
 
 // resolveWorkers applies the worker-budget rule to the ensemble tier.
@@ -146,8 +161,13 @@ type SerialResult struct {
 	// Runs[k] is replicate k's full result, bit-identical to running
 	// Seeds[k] solo with a private cache.
 	Runs []population.Result
-	// Trajectory is the mean/std cooperation trajectory over replicates,
-	// one point per sampled generation.
+	// Errors[k] is non-nil when replicate k failed permanently (after any
+	// supervised restarts were exhausted); its slot in Runs is then at best
+	// a partial result and is excluded from Trajectory and Metrics.  The
+	// slice always has one entry per replicate.
+	Errors []error
+	// Trajectory is the mean/std cooperation trajectory over the
+	// completed replicates, one point per sampled generation.
 	Trajectory []TrajectoryPoint
 	// Metrics merges every replicate's flat metrics (counters summed,
 	// batch-lane occupancy re-weighted by calls; see fitness.Metrics.Merge).
@@ -165,6 +185,12 @@ type SerialResult struct {
 // replicates share one PairCache store unless cfg.PrivateCaches is set.
 // Checkpointing must be disabled in base — replicates would race on one
 // file — and base.SharedCache must be unset (the ensemble owns the store).
+//
+// Failure degrades gracefully: a permanently-failed replicate is reported
+// in SerialResult.Errors at its index while the other replicates complete
+// and aggregate, and the returned error is the lowest-index failure (nil
+// when all completed).  With cfg.MaxRestarts > 0 each replicate runs
+// supervised and transient failures are recovered before they count.
 func RunSerial(ctx context.Context, base population.Config, generations int, cfg Config) (SerialResult, error) {
 	workers, err := cfg.resolveWorkers()
 	if err != nil {
@@ -211,7 +237,7 @@ func RunSerial(ctx context.Context, base population.Config, generations int, cfg
 	for k := 0; k < n; k++ {
 		res.Seeds[k] = ReplicateSeed(base.Seed, k)
 	}
-	errs := make([]error, n)
+	res.Errors = make([]error, n)
 	start := time.Now()
 	runReplicates(workers, n, func(k int) {
 		if cfg.Skip != nil && cfg.Skip(k) {
@@ -222,22 +248,26 @@ func RunSerial(ctx context.Context, base population.Config, generations int, cfg
 		if cfg.ReplicateCheckpoint != nil {
 			rcfg.CheckpointPath, rcfg.CheckpointLabel = cfg.ReplicateCheckpoint(k)
 		}
-		model, err := population.New(rcfg)
-		if err != nil {
-			errs[k] = err
+		if cfg.ReplicateFaults != nil {
+			rcfg.Faults = cfg.ReplicateFaults(k)
+		}
+		if cfg.MaxRestarts > 0 {
+			pol := supervise.Policy{MaxRestarts: cfg.MaxRestarts, SegmentEvery: cfg.SegmentEvery}
+			res.Runs[k], _, res.Errors[k] = supervise.RunSerial(ctx, rcfg, generations, pol)
 			return
 		}
-		res.Runs[k], errs[k] = model.Run(ctx, generations)
+		model, err := population.New(rcfg)
+		if err != nil {
+			res.Errors[k] = err
+			return
+		}
+		res.Runs[k], res.Errors[k] = model.Run(ctx, generations)
 	})
 	res.WallClock = time.Since(start)
-	for k, err := range errs {
-		if err != nil {
-			return SerialResult{}, fmt.Errorf("ensemble: replicate %d (seed %d): %w", k, res.Seeds[k], err)
-		}
-	}
-	res.Trajectory = aggregateTrajectory(res.Runs)
-	res.Metrics = mergeMetrics(serialMetrics(res.Runs))
-	return res, nil
+	ok := completedSerial(res.Runs, res.Errors, cfg.Skip)
+	res.Trajectory = aggregateTrajectory(ok)
+	res.Metrics = mergeMetrics(serialMetrics(ok))
+	return res, firstReplicateError(res.Errors, res.Seeds)
 }
 
 // ParallelResult is the outcome of an ensemble of distributed-engine runs.
@@ -247,7 +277,11 @@ type ParallelResult struct {
 	// Runs[k] is replicate k's full result, bit-identical to running
 	// Seeds[k] solo with private caches.
 	Runs []parallel.Result
-	// Metrics merges every replicate's flat metrics.
+	// Errors[k] is non-nil when replicate k failed permanently (after any
+	// supervised restarts were exhausted); its slot is then excluded from
+	// Metrics.  The slice always has one entry per replicate.
+	Errors []error
+	// Metrics merges every completed replicate's flat metrics.
 	Metrics fitness.Metrics
 	// EnsembleWorkers and RunWorkers record the resolved worker budget.
 	EnsembleWorkers int
@@ -261,7 +295,8 @@ type ParallelResult struct {
 // concurrently and aggregates them; the sharing, seed-derivation and
 // worker-budget rules match RunSerial (each replicate's ranks additionally
 // share that store among themselves, as they already shared one rank-set
-// cache's worth of results in spirit — every rank gets its own view).
+// cache's worth of results in spirit — every rank gets its own view), as
+// do the graceful-degradation and supervision rules (see RunSerial).
 func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
 	workers, err := cfg.resolveWorkers()
 	if err != nil {
@@ -305,7 +340,7 @@ func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
 	for k := 0; k < n; k++ {
 		res.Seeds[k] = ReplicateSeed(base.Seed, k)
 	}
-	errs := make([]error, n)
+	res.Errors = make([]error, n)
 	start := time.Now()
 	runReplicates(workers, n, func(k int) {
 		if cfg.Skip != nil && cfg.Skip(k) {
@@ -316,20 +351,28 @@ func RunParallel(base parallel.Config, cfg Config) (ParallelResult, error) {
 		if cfg.ReplicateCheckpoint != nil {
 			rcfg.CheckpointPath, rcfg.CheckpointLabel = cfg.ReplicateCheckpoint(k)
 		}
-		res.Runs[k], errs[k] = parallel.Run(rcfg)
+		if cfg.ReplicateFaults != nil {
+			if plan := cfg.ReplicateFaults(k); plan != nil {
+				rcfg.Faults = plan
+			}
+		}
+		if cfg.MaxRestarts > 0 {
+			pol := supervise.Policy{MaxRestarts: cfg.MaxRestarts, SegmentEvery: cfg.SegmentEvery}
+			res.Runs[k], _, res.Errors[k] = supervise.RunParallel(rcfg, pol)
+			return
+		}
+		res.Runs[k], res.Errors[k] = parallel.Run(rcfg)
 	})
 	res.WallClock = time.Since(start)
-	for k, err := range errs {
-		if err != nil {
-			return ParallelResult{}, fmt.Errorf("ensemble: replicate %d (seed %d): %w", k, res.Seeds[k], err)
-		}
-	}
-	mets := make([]fitness.Metrics, n)
+	var mets []fitness.Metrics
 	for k, r := range res.Runs {
-		mets[k] = r.Metrics
+		if res.Errors[k] != nil || (cfg.Skip != nil && cfg.Skip(k)) {
+			continue
+		}
+		mets = append(mets, r.Metrics)
 	}
 	res.Metrics = mergeMetrics(mets)
-	return res, nil
+	return res, firstReplicateError(res.Errors, res.Seeds)
 }
 
 // runReplicates executes fn(0..n-1) on a pool of `workers` goroutines.
@@ -355,6 +398,32 @@ func runReplicates(workers, n int, fn func(k int)) {
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// completedSerial filters the serial results down to the replicates that
+// ran and finished: not skipped, no permanent error.
+func completedSerial(runs []population.Result, errs []error, skip func(int) bool) []population.Result {
+	ok := make([]population.Result, 0, len(runs))
+	for k, r := range runs {
+		if errs[k] != nil || (skip != nil && skip(k)) {
+			continue
+		}
+		ok = append(ok, r)
+	}
+	return ok
+}
+
+// firstReplicateError preserves the pre-degradation error contract: the
+// returned error is the failure of the lowest-index failed replicate, or
+// nil when every replicate completed.  Callers that want the partial
+// ensemble inspect Errors on the (always returned) result instead.
+func firstReplicateError(errs []error, seeds []uint64) error {
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ensemble: replicate %d (seed %d): %w", k, seeds[k], err)
+		}
+	}
+	return nil
 }
 
 // serialMetrics projects the per-run metrics out of serial results.

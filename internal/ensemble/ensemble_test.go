@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"evogame/internal/faults"
 	"evogame/internal/fitness"
 	"evogame/internal/parallel"
 	"evogame/internal/population"
@@ -306,5 +307,226 @@ func TestEnsembleRejectsInvalidConfigs(t *testing.T) {
 	bad.CheckpointPath = t.TempDir() + "/c.ckpt"
 	if _, err := RunParallel(bad, Config{Replicates: 2}); err == nil {
 		t.Fatal("checkpointing inside a parallel ensemble accepted")
+	}
+}
+
+// TestEnsembleChaosHammer is the fault-injection -race hammer: 8 serial
+// replicates run concurrently against one shared pair-cache store while
+// half of them take an injected mid-run crash and recover under the
+// supervisor.  Every replicate — crashed or not — must still reproduce its
+// solo, fault-free trajectory bit-identically.
+func TestEnsembleChaosHammer(t *testing.T) {
+	base := population.Config{
+		NumSSets: 24, AgentsPerSSet: 2, MemorySteps: 2, Rounds: 20,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Seed: 2013,
+		EvalMode: fitness.EvalCached,
+	}
+	const generations = 30
+	cfg := Config{
+		Replicates:   8,
+		Workers:      8,
+		MaxRestarts:  2,
+		SegmentEvery: 10,
+		ReplicateFaults: func(k int) *faults.Plan {
+			if k%2 != 0 {
+				return nil
+			}
+			return faults.NewPlan(faults.Event{Kind: faults.Crash, Gen: 11 + k, Rank: 0})
+		},
+	}
+	res, err := RunSerial(context.Background(), base, generations, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, rerr := range res.Errors {
+		if rerr != nil {
+			t.Fatalf("replicate %d failed permanently: %v", k, rerr)
+		}
+	}
+	if res.Metrics.Restarts < 4 {
+		t.Fatalf("merged Restarts = %d, want >= 4 (one per crashed replicate)", res.Metrics.Restarts)
+	}
+	for k := range res.Runs {
+		solo := base
+		solo.Seed = res.Seeds[k]
+		model, err := population.New(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Run(context.Background(), generations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Runs[k].FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("replicate %d diverged from its solo run under the chaos hammer", k)
+		}
+		if res.Runs[k].NatureStats != want.NatureStats {
+			t.Fatalf("replicate %d event counts diverged under the chaos hammer", k)
+		}
+	}
+}
+
+// TestEnsembleGracefulDegradationSerial pins the degradation contract: a
+// permanently-failed replicate is reported at its index while the rest
+// complete, aggregate, and still match their solo runs.
+func TestEnsembleGracefulDegradationSerial(t *testing.T) {
+	base := population.Config{
+		NumSSets: 16, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 20,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Seed: 7,
+		EvalMode: fitness.EvalCached, SampleEvery: 10,
+	}
+	const generations = 30
+	const doomed = 1
+	cfg := Config{
+		Replicates:  4,
+		MaxRestarts: 1,
+		ReplicateFaults: func(k int) *faults.Plan {
+			if k != doomed {
+				return nil
+			}
+			// Count -1 = permanent: re-fires on every supervised relaunch,
+			// so the replicate can never converge and must be given up on.
+			return faults.NewPlan(faults.Event{Kind: faults.Crash, Gen: 5, Rank: 0, Count: -1})
+		},
+	}
+	res, err := RunSerial(context.Background(), base, generations, cfg)
+	if err == nil {
+		t.Fatal("ensemble with a permanently-failed replicate returned nil error")
+	}
+	if !strings.Contains(err.Error(), "replicate 1") {
+		t.Fatalf("error %q does not name the failed replicate", err)
+	}
+	if len(res.Errors) != 4 {
+		t.Fatalf("Errors has %d slots, want one per replicate (4)", len(res.Errors))
+	}
+	for k, rerr := range res.Errors {
+		if (rerr != nil) != (k == doomed) {
+			t.Fatalf("Errors[%d] = %v", k, rerr)
+		}
+	}
+	if len(res.Trajectory) == 0 {
+		t.Fatal("survivors produced no aggregate trajectory")
+	}
+	for k := range res.Runs {
+		if k == doomed {
+			continue
+		}
+		solo := base
+		solo.Seed = res.Seeds[k]
+		model, err := population.New(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Run(context.Background(), generations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Runs[k].FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("surviving replicate %d diverged from its solo run", k)
+		}
+	}
+	// The doomed replicate must not leak into the merged counters: merged
+	// PCEvents equals the sum over survivors alone.
+	var wantPC int
+	for k := range res.Runs {
+		if k != doomed {
+			wantPC += res.Runs[k].Metrics.PCEvents
+		}
+	}
+	if res.Metrics.PCEvents != wantPC {
+		t.Fatalf("merged PCEvents = %d, want survivors-only sum %d", res.Metrics.PCEvents, wantPC)
+	}
+}
+
+// TestEnsembleGracefulDegradationParallel mirrors the degradation contract
+// on the distributed engine, with supervision disabled (MaxRestarts 0) so
+// the injected crash is immediately permanent.
+func TestEnsembleGracefulDegradationParallel(t *testing.T) {
+	base := parallel.Config{
+		Ranks: 3, NumSSets: 12, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 20,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 30, Seed: 59,
+		OptLevel: parallel.OptFusedFitness,
+	}
+	const doomed = 2
+	cfg := Config{
+		Replicates: 4,
+		ReplicateFaults: func(k int) *faults.Plan {
+			if k != doomed {
+				return nil
+			}
+			return faults.NewPlan(faults.Event{Kind: faults.Crash, Gen: 9, Rank: 1})
+		},
+	}
+	res, err := RunParallel(base, cfg)
+	if err == nil {
+		t.Fatal("ensemble with a crashed, unsupervised replicate returned nil error")
+	}
+	if !strings.Contains(err.Error(), "replicate 2") {
+		t.Fatalf("error %q does not name the failed replicate", err)
+	}
+	for k, rerr := range res.Errors {
+		if (rerr != nil) != (k == doomed) {
+			t.Fatalf("Errors[%d] = %v", k, rerr)
+		}
+	}
+	for k := range res.Runs {
+		if k == doomed {
+			continue
+		}
+		solo := base
+		solo.Seed = res.Seeds[k]
+		want, err := parallel.Run(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Runs[k].FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("surviving replicate %d diverged from its solo run", k)
+		}
+		if res.Runs[k].NatureStats != want.NatureStats {
+			t.Fatalf("surviving replicate %d event counts diverged", k)
+		}
+	}
+}
+
+// TestEnsembleSupervisedParallelRecovery pins supervised recovery on the
+// distributed engine inside an ensemble: the crashed replicate recovers
+// and every replicate matches its solo run.
+func TestEnsembleSupervisedParallelRecovery(t *testing.T) {
+	base := parallel.Config{
+		Ranks: 3, NumSSets: 12, AgentsPerSSet: 2, MemorySteps: 1, Rounds: 20,
+		PCRate: 1, MutationRate: 0.25, Beta: 1, Generations: 30, Seed: 59,
+		OptLevel: parallel.OptFusedFitness,
+	}
+	cfg := Config{
+		Replicates:   3,
+		MaxRestarts:  2,
+		SegmentEvery: 8,
+		ReplicateFaults: func(k int) *faults.Plan {
+			if k != 1 {
+				return nil
+			}
+			return faults.NewPlan(faults.Event{Kind: faults.Crash, Gen: 13, Rank: 2})
+		},
+	}
+	res, err := RunParallel(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Restarts != 1 {
+		t.Fatalf("merged Restarts = %d, want 1", res.Metrics.Restarts)
+	}
+	for k := range res.Runs {
+		solo := base
+		solo.Seed = res.Seeds[k]
+		want, err := parallel.Run(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Runs[k].FinalStrategies) != fmt.Sprint(want.FinalStrategies) {
+			t.Fatalf("replicate %d diverged from its solo run", k)
+		}
+		if res.Runs[k].NatureStats != want.NatureStats {
+			t.Fatalf("replicate %d event counts diverged", k)
+		}
 	}
 }

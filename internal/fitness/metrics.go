@@ -32,6 +32,17 @@ type Metrics struct {
 	PCEvents  int
 	Adoptions int
 	Mutations int
+
+	// Fault-tolerance counters (zero on a fault-free run).  Restarts is the
+	// number of supervised relaunches from a checkpoint; RetriedSends,
+	// DroppedMessages and DelayedMessages mirror the fabric's injected-fault
+	// accounting (mpi.Stats) summed over ranks; RecoveryNanos is the wall
+	// time the supervisor spent reloading checkpoints and backing off.
+	Restarts        int
+	RetriedSends    int64
+	DroppedMessages int64
+	DelayedMessages int64
+	RecoveryNanos   int64
 }
 
 // AddEngine folds an engine's kernel-mix counters into m.
@@ -73,6 +84,11 @@ func (m *Metrics) Merge(o Metrics) {
 	m.PCEvents += o.PCEvents
 	m.Adoptions += o.Adoptions
 	m.Mutations += o.Mutations
+	m.Restarts += o.Restarts
+	m.RetriedSends += o.RetriedSends
+	m.DroppedMessages += o.DroppedMessages
+	m.DelayedMessages += o.DelayedMessages
+	m.RecoveryNanos += o.RecoveryNanos
 }
 
 // BatchLaneOccupancy returns the mean fraction of the 64 SWAR lanes

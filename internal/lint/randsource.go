@@ -14,6 +14,7 @@ var timingAllowlist = map[string]bool{
 	"internal/trace":     true,
 	"internal/perfmodel": true,
 	"internal/ensemble":  true,
+	"internal/supervise": true,
 	"cmd/benchtables":    true,
 }
 
@@ -31,8 +32,8 @@ var bannedRandImports = map[string]string{
 // randomness flows through internal/rng.Source, which is seeded, splittable
 // and checkpointable.  math/rand (v1 and v2) and crypto/rand imports are
 // errors everywhere; time.Now calls are errors outside the wall-clock
-// allowlist (trace, perfmodel, ensemble, cmd/benchtables), because a
-// time-derived value that leaks into simulation state destroys
+// allowlist (trace, perfmodel, ensemble, supervise, cmd/benchtables),
+// because a time-derived value that leaks into simulation state destroys
 // bit-identical-per-seed replay.
 var RandSource = &Analyzer{
 	Name: "randsource",

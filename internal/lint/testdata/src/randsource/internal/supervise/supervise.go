@@ -1,0 +1,15 @@
+// Package supervise is a fixture standing in for the supervisor's
+// allowlist entry: recovery wall-clock and retry backoff are measurement
+// and scheduling, so time.Now is legitimate here without a per-site
+// suppression.
+package supervise
+
+import "time"
+
+// Recover sleeps a backoff and reports how long recovery took.
+func Recover(backoff time.Duration, relaunch func()) time.Duration {
+	start := time.Now()
+	time.Sleep(backoff)
+	relaunch()
+	return time.Since(start)
+}

@@ -215,6 +215,19 @@ type Config struct {
 	// cache must be bound to the identical game (same spec, payoff, rounds
 	// and memory depth) or the run fails.
 	SharedCache *fitness.PairCache
+
+	// Faults installs a deterministic fault injector on the communicator
+	// (typically a *faults.Plan): rank crashes fire at the per-generation
+	// fault points, message drops and delays perturb sends.  Nil (the
+	// default) runs entirely fault-free — the fabric never consults the
+	// hook.  Injected failures surface as mpi.ErrRankFailed /
+	// mpi.ErrSendFailed errors that internal/supervise classifies as
+	// transient and recovers from checkpoints.
+	Faults mpi.FaultInjector
+	// CommDeadline bounds every blocking mpi primitive: a rank blocked
+	// longer than this returns mpi.ErrDeadline instead of hanging.  Zero
+	// (the default) disables the deadline.
+	CommDeadline time.Duration
 }
 
 // startGeneration returns the absolute generation the run begins at: zero
@@ -265,6 +278,9 @@ func (c Config) validate() error {
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("parallel: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
+	}
+	if c.CommDeadline < 0 {
+		return fmt.Errorf("parallel: CommDeadline must be non-negative, got %v", c.CommDeadline)
 	}
 	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
 		return fmt.Errorf("parallel: CheckpointEvery requires CheckpointPath")
@@ -449,7 +465,10 @@ func Run(cfg Config) (Result, error) {
 	var finalTable []strategy.Strategy
 	var natStats nature.Stats
 
-	err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+	err := mpi.RunWithOptions(cfg.Ranks, mpi.Options{
+		Injector: cfg.Faults,
+		Deadline: cfg.CommDeadline,
+	}, func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
 			table, stats, rep, err := natureRank(c, cfg)
 			if err != nil {
@@ -481,6 +500,9 @@ func Run(cfg Config) (Result, error) {
 	for _, rep := range reports {
 		res.TotalGames += rep.GamesPlayed
 		res.Metrics.Merge(rep.Metrics)
+		res.Metrics.RetriedSends += rep.CommStats.RetriedSends
+		res.Metrics.DroppedMessages += rep.CommStats.DroppedMessages
+		res.Metrics.DelayedMessages += rep.CommStats.DelayedMessages
 	}
 	res.Metrics.Generations = res.Generations
 	res.Metrics.PCEvents = natStats.PCEvents
@@ -566,6 +588,12 @@ func natureRank(c *mpi.Comm, cfg Config) ([]strategy.Strategy, nature.Stats, Ran
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		// Mark the epoch (and give an installed fault plan its per-generation
+		// crash point) before any choreography of the generation runs.
+		if err := c.FaultPoint(start + gen); err != nil {
+			return nil, nature.Stats{}, RankReport{}, err
+		}
+
 		// Phase 1: pairwise-comparison selection broadcast.
 		teacher, learner, pcOK := nat.MaybeSelectPC(cfg.NumSSets)
 		sel := encodeSelection(pcOK, teacher, learner)
@@ -830,6 +858,12 @@ func ssetRank(c *mpi.Comm, cfg Config) (RankReport, error) {
 	// what an uninterrupted run would draw.
 	start := cfg.startGeneration()
 	for gen := 0; gen < cfg.Generations; gen++ {
+		// Mark the epoch (and give an installed fault plan its per-generation
+		// crash point) before any choreography of the generation runs.
+		if err := c.FaultPoint(start + gen); err != nil {
+			return RankReport{}, err
+		}
+
 		// Phase 1: receive the pairwise-comparison selection first so the
 		// rank can skip the game play on idle generations when configured to.
 		var sel []byte

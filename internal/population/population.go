@@ -16,6 +16,7 @@ import (
 
 	"evogame/internal/checkpoint"
 	"evogame/internal/dynamics"
+	"evogame/internal/faults"
 	"evogame/internal/fitness"
 	"evogame/internal/game"
 	"evogame/internal/intern"
@@ -153,6 +154,14 @@ type Config struct {
 	// The cache must be bound to the identical game (same spec, payoff,
 	// rounds and memory depth) or New fails.
 	SharedCache *fitness.PairCache
+	// Faults optionally installs a deterministic fault plan on the run:
+	// the serial engine is the fault model's rank 0, so crash events
+	// scheduled for rank 0 fire at the matching generation and abort Run
+	// with a *faults.CrashError (drop/delay events are meaningless without
+	// a fabric and never fire here).  Nil runs fault-free.  The supervisor
+	// (internal/supervise) classifies injected crashes as transient and
+	// resumes from the latest checkpoint.
+	Faults *faults.Plan
 }
 
 func (c Config) validate() error {
@@ -829,28 +838,40 @@ func (m *Model) tableMostAbundant(counts map[string]int) (string, float64) {
 
 // Run advances the simulation by generations generations (or until ctx is
 // cancelled) and returns the result.  Run may be called repeatedly; each
-// call continues from the current state.
+// call continues from the current state.  On error the Result still
+// carries the samples recorded so far (with Generations at the reached
+// value), so a supervisor can stitch the trajectory across a recovered
+// failure; all other Result fields are left zero.
 func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 	if generations < 0 {
 		return Result{}, fmt.Errorf("population: negative generation count %d", generations)
 	}
 	var samples []AbundanceSample
+	partial := func() Result {
+		return Result{Generations: m.gen, Samples: samples}
+	}
 	lastSaved := -1
 	for g := 0; g < generations; g++ {
 		select {
 		case <-ctx.Done():
-			return Result{}, ctx.Err()
+			return partial(), ctx.Err()
 		default:
 		}
+		// The serial engine is the fault model's rank 0: a crash event
+		// scheduled for (rank 0, generation m.gen) fires here, before the
+		// generation runs, exactly like the distributed fault points.
+		if err := m.cfg.Faults.Crash(0, m.gen); err != nil {
+			return partial(), err
+		}
 		if err := m.Step(); err != nil {
-			return Result{}, err
+			return partial(), err
 		}
 		if m.cfg.SampleEvery > 0 && m.gen%m.cfg.SampleEvery == 0 {
 			samples = append(samples, m.Sample())
 		}
 		if m.cfg.CheckpointEvery > 0 && m.gen%m.cfg.CheckpointEvery == 0 {
 			if err := checkpoint.Save(m.cfg.CheckpointPath, m.Snapshot()); err != nil {
-				return Result{}, fmt.Errorf("population: generation %d: %w", m.gen, err)
+				return partial(), fmt.Errorf("population: generation %d: %w", m.gen, err)
 			}
 			lastSaved = m.gen
 		}
@@ -862,7 +883,7 @@ func (m *Model) Run(ctx context.Context, generations int) (Result, error) {
 	// generation — the snapshot would be byte-identical.
 	if m.cfg.CheckpointPath != "" && lastSaved != m.gen {
 		if err := checkpoint.Save(m.cfg.CheckpointPath, m.Snapshot()); err != nil {
-			return Result{}, err
+			return partial(), err
 		}
 	}
 	return Result{

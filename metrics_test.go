@@ -79,6 +79,7 @@ func TestMetricsMergeEdgeCases(t *testing.T) {
 		CachePlays:  100, CacheHits: 60, CacheMisses: 40, CacheBypassed: 5, CacheEvicted: 2,
 		ScalarGames: 7, CycleGames: 11, BatchGames: 128, BatchCalls: 2,
 		PCEvents: 9, Adoptions: 4, Mutations: 3,
+		Restarts: 1, RetriedSends: 5, DroppedMessages: 5, DelayedMessages: 2, RecoveryNanos: 1e6,
 	}
 	cases := []struct {
 		name string
@@ -121,6 +122,12 @@ func TestMetricsMergeEdgeCases(t *testing.T) {
 			into: Metrics{Generations: 100},
 			from: Metrics{Generations: 40, Mutations: 7},
 			want: Metrics{Generations: 100, Mutations: 7},
+		},
+		{
+			name: "fault counters sum without touching the rest",
+			into: Metrics{Restarts: 1, RetriedSends: 3, RecoveryNanos: 2e6},
+			from: Metrics{Restarts: 2, DroppedMessages: 4, DelayedMessages: 1, RecoveryNanos: 1e6},
+			want: Metrics{Restarts: 3, RetriedSends: 3, DroppedMessages: 4, DelayedMessages: 1, RecoveryNanos: 3e6},
 		},
 	}
 	for _, tc := range cases {
